@@ -1,0 +1,284 @@
+package wcm3d_test
+
+// Integration tests against the public facade — the same surface the
+// examples and downstream users consume.
+
+import (
+	"strings"
+	"testing"
+
+	"wcm3d"
+)
+
+func prepared(t *testing.T) *wcm3d.Die {
+	t.Helper()
+	d, err := wcm3d.PrepareDie(wcm3d.CircuitProfiles("b12")[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestProfilesSurface(t *testing.T) {
+	if got := len(wcm3d.ITC99Profiles()); got != 24 {
+		t.Errorf("profiles = %d, want 24", got)
+	}
+	if got := len(wcm3d.CircuitNames()); got != 6 {
+		t.Errorf("circuits = %d, want 6", got)
+	}
+	if wcm3d.CircuitProfiles("nope") != nil {
+		t.Error("unknown circuit must return nil")
+	}
+	if err := wcm3d.DefaultLibrary().Validate(); err != nil {
+		t.Errorf("default library invalid: %v", err)
+	}
+}
+
+func TestMinimizeAllMethods(t *testing.T) {
+	d := prepared(t)
+	nTSVs := len(d.Netlist.InboundTSVs()) + len(d.Netlist.OutboundTSVs())
+	var cells = map[wcm3d.Method]int{}
+	for _, m := range []wcm3d.Method{
+		wcm3d.MethodFullWrap, wcm3d.MethodLi, wcm3d.MethodAgrawal, wcm3d.MethodOurs,
+	} {
+		res, err := wcm3d.Minimize(d, m, wcm3d.LooseTiming)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := res.Assignment.Validate(d.Netlist); err != nil {
+			t.Fatalf("%v produced invalid plan: %v", m, err)
+		}
+		if !res.Assignment.Covered(d.Netlist) {
+			t.Errorf("%v does not cover every TSV", m)
+		}
+		cells[m] = res.AdditionalCells
+	}
+	// The historical progression must hold: full wrap >= Li >= Agrawal,
+	// and ours at least as good as the one-shot baseline.
+	if cells[wcm3d.MethodFullWrap] != nTSVs {
+		t.Errorf("full wrap cells = %d, want %d", cells[wcm3d.MethodFullWrap], nTSVs)
+	}
+	if cells[wcm3d.MethodLi] > cells[wcm3d.MethodFullWrap] {
+		t.Error("Li must not exceed full wrap")
+	}
+	if cells[wcm3d.MethodAgrawal] > cells[wcm3d.MethodLi] {
+		t.Error("multi-TSV sharing (Agrawal) must not lose to one-shot reuse (Li)")
+	}
+	if cells[wcm3d.MethodOurs] > cells[wcm3d.MethodLi] {
+		t.Error("ours must not lose to the one-shot baseline")
+	}
+}
+
+func TestMinimizeUnknownMethod(t *testing.T) {
+	d := prepared(t)
+	if _, err := wcm3d.Minimize(d, wcm3d.Method(99), wcm3d.TightTiming); err == nil {
+		t.Error("unknown method must error")
+	}
+}
+
+func TestTightTimingNeverViolates(t *testing.T) {
+	d := prepared(t)
+	res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.TightTiming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol, wns, err := wcm3d.CheckTiming(d, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol {
+		t.Errorf("ours under tight timing violates (wns %.1f)", wns)
+	}
+}
+
+func TestEvaluateRoundTrip(t *testing.T) {
+	d := prepared(t)
+	res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.TightTiming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := wcm3d.EvaluateStuckAt(d, res.Assignment, wcm3d.ReducedBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Coverage < 0.85 || sa.Patterns == 0 {
+		t.Errorf("stuck-at grade implausible: %+v", sa)
+	}
+	tr, err := wcm3d.EvaluateTransition(d, res.Assignment, wcm3d.ReducedBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Coverage <= 0 || tr.Patterns == 0 {
+		t.Errorf("transition grade implausible: %+v", tr)
+	}
+	// Transition tests are two-vector: typically more patterns.
+	if tr.Patterns < sa.Patterns {
+		t.Logf("note: transition patterns %d < stuck-at %d (unusual but possible)", tr.Patterns, sa.Patterns)
+	}
+}
+
+func TestParseAndPrepareCustomDie(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+TSV_IN(t0)
+TSV_IN(t1)
+q0 = DFF(n2)
+q1 = DFF(n3)
+n1 = AND(a, t0)
+n2 = XOR(n1, q1)
+n3 = NOR(t1, b)
+n4 = OR(n2, n3)
+OUTPUT(z) = n4
+TSV_OUT(u0) = n1
+TSV_OUT(u1) = n3
+`
+	n, err := wcm3d.ParseNetlist("api", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := wcm3d.PrepareParsed(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.LooseTiming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Covered(d.Netlist) {
+		t.Error("custom die not fully covered")
+	}
+	sa, err := wcm3d.EvaluateStuckAt(d, res.Assignment, wcm3d.ReducedBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Coverage < 0.9 {
+		t.Errorf("tiny wrapped die should test nearly completely, got %.3f", sa.Coverage)
+	}
+}
+
+func TestOptionBuildersExposed(t *testing.T) {
+	d := prepared(t)
+	opts := wcm3d.OurOptions(d, wcm3d.TightTiming)
+	opts.AllowOverlap = false
+	res, err := wcm3d.MinimizeWith(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOverlapEdges() != 0 {
+		t.Error("overlap disabled but overlap edges counted")
+	}
+	agr := wcm3d.AgrawalOptions(d, wcm3d.LooseTiming)
+	if agr.AllowOverlap {
+		t.Error("Agrawal options must not allow overlap")
+	}
+}
+
+func TestMethodAndModeStrings(t *testing.T) {
+	if wcm3d.MethodOurs.String() != "ours" || wcm3d.MethodAgrawal.String() != "agrawal" ||
+		wcm3d.MethodLi.String() != "li" || wcm3d.MethodFullWrap.String() != "full-wrap" {
+		t.Error("method names wrong")
+	}
+	if wcm3d.TightTiming.String() != "tight" || wcm3d.LooseTiming.String() != "loose" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestPartitionBondRoundTrip(t *testing.T) {
+	mono, err := wcm3d.GenerateDie(wcm3d.Profile{
+		Circuit: "mono", Gates: 300, ScanFFs: 20, PIs: 6, POs: 4,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wcm3d.PartitionNetlist(mono, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dies) != 2 || res.CutNets == 0 {
+		t.Fatalf("partition: %d dies, %d cut nets", len(res.Dies), res.CutNets)
+	}
+	stack, err := wcm3d.BondStack("stack", res.Dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack.InboundTSVs()) != 0 {
+		t.Error("fully bonded stack must have no floating pads")
+	}
+}
+
+func TestBuildScanChainsFacade(t *testing.T) {
+	d := prepared(t)
+	res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.TightTiming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := wcm3d.BuildScanChains(d, res.Assignment, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(d.Netlist.FlipFlops()) + res.AdditionalCells
+	if plan.NumCells() != want {
+		t.Errorf("chain cells = %d, want %d (FFs + dedicated cells)", plan.NumCells(), want)
+	}
+	if plan.TestCycles(100) <= 0 {
+		t.Error("test cycles must be positive")
+	}
+}
+
+func TestDiagnoseRoundTrip(t *testing.T) {
+	d, err := wcm3d.PrepareDie(wcm3d.CircuitProfiles("b11")[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.LooseTiming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, grade, err := wcm3d.GeneratePatterns(d, plan.Assignment, wcm3d.ReducedBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grade.Coverage < 0.85 || len(patterns) == 0 {
+		t.Fatalf("test set implausible: %d patterns, %.3f coverage", len(patterns), grade.Coverage)
+	}
+	// Inject a detectable defect, diagnose, expect an exact match
+	// containing the truth.
+	var truth wcm3d.Fault
+	var syn *wcm3d.Syndrome
+	for _, f := range d.StuckAt {
+		s, err := wcm3d.SimulateDefect(d, plan.Assignment, f, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FailCount() > 0 {
+			truth, syn = f, s
+			break
+		}
+	}
+	if syn == nil {
+		t.Fatal("no detectable defect found")
+	}
+	ranked, err := wcm3d.Diagnose(d, plan.Assignment, patterns, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 || !ranked[0].Exact() {
+		t.Fatal("diagnosis found no exact explanation")
+	}
+	foundTruth := false
+	for _, c := range ranked {
+		if !c.Exact() {
+			break
+		}
+		if c.Fault == truth {
+			foundTruth = true
+		}
+	}
+	if !foundTruth {
+		t.Error("the injected defect is not among the exact matches")
+	}
+	if _, err := wcm3d.SuspectTSVs(d, plan.Assignment, ranked, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Command atpgrun runs stand-alone test-pattern generation on a die in the
+// wcm3d .bench dialect and reports coverage statistics — handy for
+// inspecting a netlist outside the wrapper-cell flow.
+//
+// Usage:
+//
+//	atpgrun -netlist die.bench
+//	atpgrun -netlist die.bench -model transition -seed 7
+//	netgen -gates 500 -ffs 30 | atpgrun        # from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wcm3d/internal/atpg"
+	"wcm3d/internal/faults"
+	"wcm3d/internal/faultsim"
+	"wcm3d/internal/netlist"
+)
+
+func main() {
+	var (
+		netPath = flag.String("netlist", "", "path to a .bench die (default: stdin)")
+		model   = flag.String("model", "stuck-at", "fault model: stuck-at | transition")
+		seed    = flag.Int64("seed", 1, "ATPG seed")
+		maxBT   = flag.Int("backtracks", 0, "PODEM backtrack budget (0 = default)")
+		vecOut  = flag.String("write-vectors", "", "write the generated stuck-at vectors to this file")
+	)
+	flag.Parse()
+	if err := run(*netPath, *model, *seed, *maxBT, *vecOut); err != nil {
+		fmt.Fprintln(os.Stderr, "atpgrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netPath, model string, seed int64, maxBT int, vecOut string) error {
+	var src io.Reader = os.Stdin
+	name := "stdin"
+	if netPath != "" {
+		f, err := os.Open(netPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+		name = netPath
+	}
+	n, err := netlist.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	st := netlist.CollectStats(n)
+	fmt.Printf("die %s: %d gates, %d FFs, %d TSVs (in %d / out %d), depth %d\n",
+		st.Name, st.LogicGates, st.ScanFFs, st.TSVs(), st.InboundTSVs, st.OutboundTSVs, st.MaxLevel)
+
+	opts := atpg.Options{Seed: seed, MaxBacktracks: maxBT}
+	start := time.Now()
+	switch model {
+	case "stuck-at":
+		list := faults.CollapsedList(n)
+		res, err := atpg.Run(n, list, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stuck-at: %d faults, %d detected (%d by random), %d untestable, %d aborted\n",
+			res.TotalFaults, res.Detected, res.RandomDetected, res.Untestable, res.Aborted)
+		fmt.Printf("fault coverage %.2f%%, test coverage %.2f%%, %d patterns, %v\n",
+			100*res.Coverage(), 100*res.TestCoverage(), res.PatternCount(), time.Since(start).Round(time.Millisecond))
+		if vecOut != "" {
+			f, err := os.Create(vecOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := atpg.WritePatterns(f, faultsim.New(n), res.Patterns); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d vectors to %s\n", res.PatternCount(), vecOut)
+		}
+	case "transition":
+		list := faults.TransitionList(n)
+		res, err := atpg.RunTransition(n, list, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("transition: %d faults, %d detected, %d untestable, %d aborted\n",
+			res.TotalFaults, res.Detected, res.Untestable, res.Aborted)
+		fmt.Printf("fault coverage %.2f%%, test coverage %.2f%%, %d patterns (%d pairs), %v\n",
+			100*res.Coverage(), 100*res.TestCoverage(), res.PatternCount(), len(res.Pairs),
+			time.Since(start).Round(time.Millisecond))
+	default:
+		return fmt.Errorf("unknown fault model %q", model)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDie(t *testing.T) string {
+	t.Helper()
+	src := `
+INPUT(a)
+INPUT(b)
+q = DFF(n1)
+n1 = XOR(a, q)
+n2 = AND(n1, b)
+OUTPUT(z) = n2
+`
+	p := filepath.Join(t.TempDir(), "die.bench")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunStuckAt(t *testing.T) {
+	if err := run(writeDie(t), "stuck-at", 1, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransitionModel(t *testing.T) {
+	if err := run(writeDie(t), "transition", 1, 50, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWriteVectors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "vec.txt")
+	if err := run(writeDie(t), "stuck-at", 1, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("vector file empty")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(writeDie(t), "quantum", 1, 0, ""); err == nil {
+		t.Error("unknown model must error")
+	}
+	if err := run("/nonexistent/die.bench", "stuck-at", 1, 0, ""); err == nil {
+		t.Error("missing file must error")
+	}
+}

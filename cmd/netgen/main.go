@@ -1,0 +1,117 @@
+// Command netgen generates benchmark dies and writes them in the wcm3d
+// .bench dialect.
+//
+// Usage:
+//
+//	netgen -profile b12/2            # one Table II die to stdout
+//	netgen -suite -dir ./dies        # all 24 dies into a directory
+//	netgen -gates 500 -ffs 24 -in 12 -out 12 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", `Table II die, e.g. "b12/2"`)
+		suite   = flag.Bool("suite", false, "generate all 24 Table II dies")
+		dir     = flag.String("dir", "", "output directory (required with -suite)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		gates   = flag.Int("gates", 0, "custom die: combinational gate count")
+		ffs     = flag.Int("ffs", 0, "custom die: scan flip-flop count")
+		ins     = flag.Int("in", 0, "custom die: inbound TSV count")
+		outs    = flag.Int("out", 0, "custom die: outbound TSV count")
+		stats   = flag.Bool("stats", false, "print die statistics instead of the netlist")
+	)
+	flag.Parse()
+	if err := run(*profile, *suite, *dir, *seed, *gates, *ffs, *ins, *outs, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, suite bool, dir string, seed int64, gates, ffs, ins, outs int, stats bool) error {
+	emit := func(n *netlist.Netlist, w *os.File) error {
+		if stats {
+			st := netlist.CollectStats(n)
+			_, err := fmt.Fprintf(w, "%s: FFs=%d gates=%d TSVs=%d (in=%d out=%d) PIs=%d POs=%d depth=%d\n",
+				st.Name, st.ScanFFs, st.LogicGates, st.TSVs(), st.InboundTSVs, st.OutboundTSVs,
+				st.PIs, st.POs, st.MaxLevel)
+			return err
+		}
+		return n.Write(w)
+	}
+
+	switch {
+	case suite:
+		if dir == "" && !stats {
+			return fmt.Errorf("-suite requires -dir (or -stats)")
+		}
+		for _, p := range netgen.ITC99Profiles() {
+			n, err := netgen.Generate(p, seed)
+			if err != nil {
+				return err
+			}
+			if stats {
+				if err := emit(n, os.Stdout); err != nil {
+					return err
+				}
+				continue
+			}
+			name := strings.ReplaceAll(p.Name(), "/", "_") + ".bench"
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if err := n.Write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+		}
+		return nil
+
+	case profile != "":
+		parts := strings.Split(profile, "/")
+		if len(parts) != 2 {
+			return fmt.Errorf("profile must look like b12/2, got %q", profile)
+		}
+		dieIdx, err := strconv.Atoi(strings.TrimPrefix(parts[1], "Die"))
+		if err != nil {
+			return fmt.Errorf("bad die index in %q: %w", profile, err)
+		}
+		ps := netgen.ITC99Circuit(parts[0])
+		if ps == nil || dieIdx < 0 || dieIdx >= len(ps) {
+			return fmt.Errorf("no profile %q", profile)
+		}
+		n, err := netgen.Generate(ps[dieIdx], seed)
+		if err != nil {
+			return err
+		}
+		return emit(n, os.Stdout)
+
+	case gates > 0:
+		n, err := netgen.Random(netgen.RandomOptions{
+			Gates: gates, FFs: ffs, InboundTSVs: ins, OutboundTSVs: outs, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		return emit(n, os.Stdout)
+
+	default:
+		return fmt.Errorf("pass -profile, -suite, or -gates (see -h)")
+	}
+}

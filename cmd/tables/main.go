@@ -1,0 +1,228 @@
+// Command tables regenerates the paper's evaluation artifacts: Tables I-V
+// and Figure 7 of "Timing Aware Wrapper Cells Reduction for Pre-bond
+// Testing in 3D-ICs" (SOCC 2019).
+//
+// Usage:
+//
+//	tables -all                      # every table and figure, all 24 dies
+//	tables -table 3 -circuits b12    # one table on one circuit family
+//	tables -figure 7                 # the edge-growth figure (b20-b22)
+//	tables -table 4 -budget reduced  # faster, lower-effort ATPG
+//
+// Runtime note: tables IV and V run full ATPG per die and method; on the
+// b18-class dies that is minutes per die at the full budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wcm3d/internal/experiments"
+	"wcm3d/internal/netgen"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "table number to regenerate (1-5)")
+		figure   = flag.Int("figure", 0, "figure number to regenerate (7)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		circuits = flag.String("circuits", "", "comma-separated circuit families (default: the paper's set for each experiment)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		budget   = flag.String("budget", "full", "ATPG effort: full or reduced")
+		short    = flag.Bool("short", false, "shorthand for -budget reduced -circuits b11,b12")
+	)
+	flag.Parse()
+	if err := run(*table, *figure, *all, *circuits, *seed, *budget, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, all bool, circuits string, seed int64, budgetName string, short bool) error {
+	if short {
+		budgetName = "reduced"
+		if circuits == "" {
+			circuits = "b11,b12"
+		}
+	}
+	var budget experiments.ATPGBudget
+	switch budgetName {
+	case "full":
+		budget = experiments.DefaultBudget(seed)
+	case "reduced":
+		budget = experiments.ReducedBudget(seed)
+	default:
+		return fmt.Errorf("unknown budget %q (want full or reduced)", budgetName)
+	}
+
+	profilesFor := func(defaults []string) ([]netgen.Profile, error) {
+		names := defaults
+		if circuits != "" {
+			names = strings.Split(circuits, ",")
+		}
+		var out []netgen.Profile
+		for _, name := range names {
+			ps := netgen.ITC99Circuit(strings.TrimSpace(name))
+			if ps == nil {
+				return nil, fmt.Errorf("unknown circuit %q", name)
+			}
+			out = append(out, ps...)
+		}
+		return out, nil
+	}
+	allCircuits := netgen.ITC99CircuitNames()
+	bigThree := []string{"b20", "b21", "b22"}
+
+	want := func(n int, isFigure bool) bool {
+		if all {
+			return true
+		}
+		if isFigure {
+			return figure == n
+		}
+		return table == n
+	}
+	if !all && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -all, -table N, or -figure 7")
+	}
+	ran := false
+
+	if want(1, false) {
+		ran = true
+		profiles, err := profilesFor([]string{"b12"})
+		if err != nil {
+			return err
+		}
+		if err := timed("Table I", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.Table1(dies, budget)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable1(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want(2, false) {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("Table II", func() error {
+			rows, err := experiments.Table2(profiles, seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable2(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want(3, false) {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("Table III", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.Table3(dies)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable3(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want(4, false) {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("Table IV", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.Table4(dies, budget)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable4(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want(5, false) {
+		ran = true
+		profiles, err := profilesFor(bigThree)
+		if err != nil {
+			return err
+		}
+		if err := timed("Table V", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.Table5(dies, budget)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable5(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want(7, true) {
+		ran = true
+		profiles, err := profilesFor(bigThree)
+		if err != nil {
+			return err
+		}
+		if err := timed("Figure 7", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.Figure7(dies)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure7(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no experiment matches -table %d / -figure %d", table, figure)
+	}
+	return nil
+}
+
+func timed(name string, f func() error) error {
+	start := time.Now()
+	if err := f(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	// Table II touches only the generator: fast and fully deterministic.
+	if err := run(2, 0, false, "b11", 1, "reduced", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShortFlagDefaults(t *testing.T) {
+	if err := run(2, 0, false, "", 1, "full", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(0, 0, false, "", 1, "full", false); err == nil {
+		t.Error("no experiment selected must error")
+	}
+	if err := run(2, 0, false, "b99", 1, "full", false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
+		t.Errorf("unknown circuit: %v", err)
+	}
+	if err := run(2, 0, false, "", 1, "warp", false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
+		t.Errorf("unknown budget: %v", err)
+	}
+	if err := run(9, 0, false, "", 1, "full", false); err == nil {
+		t.Error("unknown table number must error")
+	}
+}

@@ -1,0 +1,179 @@
+// Command wcmflow runs the complete design flow of the paper's Figure 6 on
+// one die: generation (or parsing), placement, timing, TSV analysis, graph
+// construction, clique partitioning, DFT insertion, ATPG, and the final
+// timing signoff — printing a report at each stage.
+//
+// Usage:
+//
+//	wcmflow -profile b12/1                      # paper benchmark die
+//	wcmflow -netlist die.bench                  # your own die
+//	wcmflow -profile b18/2 -method agrawal -timing tight
+//	wcmflow -profile b12/1 -compare             # all methods side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"wcm3d"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", `Table II die, e.g. "b12/1"`)
+		netPath = flag.String("netlist", "", "path to a .bench die (alternative to -profile)")
+		method  = flag.String("method", "ours", "ours | agrawal | li | fullwrap")
+		timing  = flag.String("timing", "tight", "tight | loose")
+		seed    = flag.Int64("seed", 1, "generation / ATPG seed")
+		compare = flag.Bool("compare", false, "run every method and tabulate")
+		atpg    = flag.Bool("atpg", true, "run stuck-at ATPG on the result")
+		budget  = flag.String("budget", "full", "ATPG effort: full or reduced")
+	)
+	flag.Parse()
+	if err := run(*profile, *netPath, *method, *timing, *seed, *compare, *atpg, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "wcmflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile, netPath, methodName, timingName string, seed int64, compare, runATPG bool, budgetName string) error {
+	die, err := loadDie(profile, netPath, seed)
+	if err != nil {
+		return err
+	}
+	st := dieStats(die)
+	fmt.Printf("die %s: %s\n", die.Profile.Name(), st)
+	fmt.Printf("clock %.1f ps (margin %.1f ps), placement %.0fx%.0f µm\n\n",
+		die.ClockPS, die.MarginPS, die.Placement.Width, die.Placement.Height)
+
+	mode, err := parseTiming(timingName)
+	if err != nil {
+		return err
+	}
+	var bud wcm3d.ATPGBudget
+	switch budgetName {
+	case "full":
+		bud = wcm3d.DefaultBudget(seed)
+	case "reduced":
+		bud = wcm3d.ReducedBudget(seed)
+	default:
+		return fmt.Errorf("unknown budget %q", budgetName)
+	}
+
+	methods := []wcm3d.Method{wcm3d.MethodOurs}
+	if compare {
+		methods = []wcm3d.Method{wcm3d.MethodFullWrap, wcm3d.MethodLi, wcm3d.MethodAgrawal, wcm3d.MethodOurs}
+	} else {
+		m, err := parseMethod(methodName)
+		if err != nil {
+			return err
+		}
+		methods = []wcm3d.Method{m}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\treused FFs\tadded cells\tDFT area (µm²)\ttiming\tWNS (ps)\tstuck-at cov\t#patterns\ttest cycles")
+	for _, m := range methods {
+		res, err := wcm3d.Minimize(die, m, mode)
+		if err != nil {
+			return fmt.Errorf("%v: %w", m, err)
+		}
+		viol, wns, err := wcm3d.CheckTiming(die, res.Assignment)
+		if err != nil {
+			return err
+		}
+		timingMark := "meets"
+		if viol {
+			timingMark = "VIOLATES"
+		}
+		cov, pats, cycles := "-", "-", "-"
+		if runATPG {
+			tb, err := wcm3d.EvaluateStuckAt(die, res.Assignment, bud)
+			if err != nil {
+				return err
+			}
+			cov = fmt.Sprintf("%.2f%%", 100*tb.Coverage)
+			pats = strconv.Itoa(tb.Patterns)
+			// Tester time under a 4-chain scan architecture.
+			chains, err := wcm3d.BuildScanChains(die, res.Assignment, 4)
+			if err != nil {
+				return err
+			}
+			cycles = strconv.Itoa(chains.TestCycles(tb.Patterns))
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%.1f\t%s\t%.1f\t%s\t%s\t%s\n",
+			m, res.ReusedFFs, res.AdditionalCells, res.AreaUM2(wcm3d.DefaultLibrary()),
+			timingMark, wns, cov, pats, cycles)
+	}
+	return tw.Flush()
+}
+
+func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, error) {
+	switch {
+	case profile != "":
+		parts := strings.Split(profile, "/")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("profile must look like b12/1, got %q", profile)
+		}
+		idx, err := strconv.Atoi(strings.TrimPrefix(parts[1], "Die"))
+		if err != nil {
+			return nil, err
+		}
+		ps := wcm3d.CircuitProfiles(parts[0])
+		if ps == nil || idx < 0 || idx >= len(ps) {
+			return nil, fmt.Errorf("no profile %q", profile)
+		}
+		return wcm3d.PrepareDie(ps[idx], seed)
+	case netPath != "":
+		f, err := os.Open(netPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		n, err := wcm3d.ParseNetlist(strings.TrimSuffix(netPath, ".bench"), f)
+		if err != nil {
+			return nil, err
+		}
+		// Wrap the parsed die in a synthetic profile so the standard
+		// preparation (placement, clocking, fault universes) applies.
+		return wcm3d.PrepareParsed(n, seed)
+	default:
+		return nil, fmt.Errorf("pass -profile or -netlist")
+	}
+}
+
+func parseMethod(s string) (wcm3d.Method, error) {
+	switch strings.ToLower(s) {
+	case "ours":
+		return wcm3d.MethodOurs, nil
+	case "agrawal":
+		return wcm3d.MethodAgrawal, nil
+	case "li":
+		return wcm3d.MethodLi, nil
+	case "fullwrap", "full-wrap":
+		return wcm3d.MethodFullWrap, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func parseTiming(s string) (wcm3d.TimingMode, error) {
+	switch strings.ToLower(s) {
+	case "tight":
+		return wcm3d.TightTiming, nil
+	case "loose":
+		return wcm3d.LooseTiming, nil
+	default:
+		return 0, fmt.Errorf("unknown timing mode %q", s)
+	}
+}
+
+func dieStats(d *wcm3d.Die) string {
+	return fmt.Sprintf("%d FFs, %d gates, %d inbound + %d outbound TSVs",
+		len(d.Netlist.FlipFlops()), d.Netlist.NumLogicGates(),
+		len(d.Netlist.InboundTSVs()), len(d.Netlist.OutboundTSVs()))
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunCompareSmallDie(t *testing.T) {
+	if err := run("b11/0", "", "ours", "tight", 1, true, true, "reduced"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleMethodNoATPG(t *testing.T) {
+	if err := run("b11/3", "", "agrawal", "loose", 1, false, false, "reduced"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "ours", "tight", 1, false, true, "full"); err == nil {
+		t.Error("neither profile nor netlist must error")
+	}
+	if err := run("b11/0", "", "mystery", "tight", 1, false, false, "full"); err == nil {
+		t.Error("unknown method must error")
+	}
+	if err := run("b11/0", "", "ours", "sideways", 1, false, false, "full"); err == nil {
+		t.Error("unknown timing must error")
+	}
+	if err := run("b11/0", "", "ours", "tight", 1, false, false, "maximal"); err == nil {
+		t.Error("unknown budget must error")
+	}
+}

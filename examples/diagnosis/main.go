@@ -1,0 +1,91 @@
+// Diagnosis: the step after a die fails pre-bond test. Wrap a die, build
+// its test set, "manufacture" a defective copy by injecting a stuck-at
+// fault, run the test, and diagnose which fault — and which TSV path — the
+// tester's failing-pattern signature implicates.
+//
+//	go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wcm3d"
+)
+
+func main() {
+	die, err := wcm3d.PrepareDie(wcm3d.CircuitProfiles("b12")[0], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := wcm3d.Minimize(die, wcm3d.MethodOurs, wcm3d.TightTiming)
+	if err != nil {
+		log.Fatal(err)
+	}
+	patterns, grade, err := wcm3d.GeneratePatterns(die, plan.Assignment, wcm3d.DefaultBudget(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("die %s wrapped (%d reused FFs, %d cells); test set: %d patterns, %.2f%% coverage\n",
+		die.Profile.Name(), plan.ReusedFFs, plan.AdditionalCells, len(patterns), 100*grade.Coverage)
+
+	// "Manufacture" a defective die: pick a random detectable fault as
+	// ground truth and record the tester's syndrome for it.
+	rng := rand.New(rand.NewSource(11))
+	var truth wcm3d.Fault
+	var syn *wcm3d.Syndrome
+	for tries := 0; tries < 50; tries++ {
+		truth = die.StuckAt[rng.Intn(len(die.StuckAt))]
+		s, err := wcm3d.SimulateDefect(die, plan.Assignment, truth, patterns)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.FailCount() > 0 {
+			syn = s
+			break
+		}
+	}
+	if syn == nil {
+		log.Fatal("could not find a detectable defect to inject")
+	}
+	fmt.Printf("injected defect: %s — %d of %d patterns fail on the tester\n",
+		truth.Describe(die.Netlist), syn.FailCount(), len(patterns))
+
+	ranked, err := wcm3d.Diagnose(die, plan.Assignment, patterns, syn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := 0
+	for _, c := range ranked {
+		if !c.Exact() {
+			break
+		}
+		exact++
+	}
+	fmt.Printf("diagnosis: %d candidate faults, %d with exact signature match\n", len(ranked), exact)
+	for i, c := range ranked[:min(3, len(ranked))] {
+		mark := ""
+		if c.Fault == truth {
+			mark = "   <-- the injected defect"
+		}
+		fmt.Printf("  #%d %-28s matched=%d missed=%d extra=%d%s\n",
+			i+1, c.Fault.Describe(die.Netlist), c.Matched, c.Missed, c.Extra, mark)
+	}
+	suspects, err := wcm3d.SuspectTSVs(die, plan.Assignment, ranked, exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(suspects) > 0 {
+		fmt.Printf("implicated TSV paths: %v\n", suspects[:min(4, len(suspects))])
+	} else {
+		fmt.Println("defect lies outside every TSV cone (internal logic)")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+// Timingaware: reproduce the paper's central claim on one circuit family —
+// a capacitance-only reuse method (Agrawal, TCAD'15) breaks the clock on
+// most dies under a tight constraint, while the wire-aware method inserts
+// wrapper cells with zero violations.
+//
+//	go run ./examples/timingaware [circuit]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"wcm3d"
+)
+
+func main() {
+	circuit := "b20"
+	if len(os.Args) > 1 {
+		circuit = os.Args[1]
+	}
+	profiles := wcm3d.CircuitProfiles(circuit)
+	if profiles == nil {
+		log.Fatalf("unknown circuit %q (want one of %v)", circuit, wcm3d.CircuitNames())
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "die\tmethod\treused\tcells\tWNS (ps)\ttiming")
+	agrViol, ourViol := 0, 0
+	for _, p := range profiles {
+		die, err := wcm3d.PrepareDie(p, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range []wcm3d.Method{wcm3d.MethodAgrawal, wcm3d.MethodOurs} {
+			res, err := wcm3d.Minimize(die, m, wcm3d.TightTiming)
+			if err != nil {
+				log.Fatal(err)
+			}
+			viol, wns, err := wcm3d.CheckTiming(die, res.Assignment)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := "meets"
+			if viol {
+				mark = "VIOLATES"
+				if m == wcm3d.MethodAgrawal {
+					agrViol++
+				} else {
+					ourViol++
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%+.1f\t%s\n",
+				p.Name(), m, res.ReusedFFs, res.AdditionalCells, wns, mark)
+		}
+	}
+	tw.Flush()
+	fmt.Printf("\nviolations: agrawal %d/%d dies, ours %d/%d dies\n",
+		agrViol, len(profiles), ourViol, len(profiles))
+	fmt.Println("The capacitance-only model cannot see the wire it routes a reused")
+	fmt.Println("flip-flop across; the wire-aware model prices it into every merge.")
+}

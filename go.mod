@@ -1,0 +1,3 @@
+module wcm3d
+
+go 1.22

@@ -1,0 +1,94 @@
+package atpg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"wcm3d/internal/faultsim"
+)
+
+// WritePatterns emits a test-vector file: a header naming every
+// controllable source in pattern-bit order, then one line of 0/1 per
+// pattern. The format survives re-ordering of the die's scan chain because
+// vectors are keyed by signal name, not position.
+//
+//	# wcm3d vectors for b12_die1
+//	inputs pi0 pi1 ff0 ff1 ...
+//	0101...
+//	1100...
+func WritePatterns(w io.Writer, sim *faultsim.Simulator, patterns []faultsim.Pattern) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# wcm3d vectors for %s: %d patterns, %d inputs\n",
+		sim.N.Name, len(patterns), sim.NumSources())
+	fmt.Fprint(bw, "inputs")
+	for _, src := range sim.Sources {
+		fmt.Fprintf(bw, " %s", sim.N.NameOf(src))
+	}
+	fmt.Fprintln(bw)
+	for _, p := range patterns {
+		for j := 0; j < sim.NumSources(); j++ {
+			if p.Get(j) {
+				bw.WriteByte('1')
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadPatterns parses a vector file written by WritePatterns against a
+// simulator for the same die; vectors are re-mapped by signal name, so a
+// file survives source reordering.
+func ReadPatterns(r io.Reader, sim *faultsim.Simulator) ([]faultsim.Pattern, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var order []int // file column -> simulator source index
+	var patterns []faultsim.Pattern
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "inputs") {
+			names := strings.Fields(line)[1:]
+			order = make([]int, len(names))
+			for i, name := range names {
+				sig, ok := sim.N.SignalByName(name)
+				if !ok {
+					return nil, fmt.Errorf("atpg: vectors line %d: unknown signal %q", lineNo, name)
+				}
+				idx, ok := sim.SourceIndex(sig)
+				if !ok {
+					return nil, fmt.Errorf("atpg: vectors line %d: %q is not controllable", lineNo, name)
+				}
+				order[i] = idx
+			}
+			continue
+		}
+		if order == nil {
+			return nil, fmt.Errorf("atpg: vectors line %d: vector before inputs header", lineNo)
+		}
+		if len(line) != len(order) {
+			return nil, fmt.Errorf("atpg: vectors line %d: %d bits for %d inputs", lineNo, len(line), len(order))
+		}
+		p := faultsim.NewPattern(sim.NumSources())
+		for i, ch := range line {
+			switch ch {
+			case '0':
+			case '1':
+				p.Set(order[i], true)
+			default:
+				return nil, fmt.Errorf("atpg: vectors line %d: bad bit %q", lineNo, ch)
+			}
+		}
+		patterns = append(patterns, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("atpg: reading vectors: %w", err)
+	}
+	return patterns, nil
+}

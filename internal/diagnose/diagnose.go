@@ -1,0 +1,151 @@
+// Package diagnose locates defects from tester responses — the step after
+// pre-bond testing flags a die as bad. Given the pattern set that was
+// applied and the set of patterns that failed on the tester, it ranks
+// candidate faults by how well each one's simulated failure signature
+// matches the observation (a classic pattern-granularity fault
+// dictionary).
+//
+// In the 3D-IC setting this answers the question the paper's flow sets up:
+// once a wrapped die fails pre-bond test, WHICH TSV (or which logic cone)
+// is defective — the difference between discarding a die and repairing a
+// process step.
+package diagnose
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"wcm3d/internal/faults"
+	"wcm3d/internal/faultsim"
+	"wcm3d/internal/netlist"
+)
+
+// Syndrome is the tester observation: for each applied pattern, whether the
+// die's response mismatched the good-machine response.
+type Syndrome struct {
+	// Failing[i] is true when pattern i failed.
+	Failing []bool
+}
+
+// FailCount returns the number of failing patterns.
+func (s *Syndrome) FailCount() int {
+	c := 0
+	for _, f := range s.Failing {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// Candidate is one scored explanation of the syndrome.
+type Candidate struct {
+	// Fault is the candidate defect.
+	Fault faults.Fault
+	// Matched counts failing patterns the fault predicts.
+	Matched int
+	// Missed counts failing patterns the fault does not predict.
+	Missed int
+	// Extra counts passing patterns the fault would have failed.
+	Extra int
+}
+
+// Exact reports a perfect signature match.
+func (c Candidate) Exact() bool { return c.Missed == 0 && c.Extra == 0 }
+
+// Score orders candidates: exact matches first, then by fewest
+// discrepancies, then by most matched.
+func (c Candidate) score() (int, int) {
+	return c.Missed + c.Extra, -c.Matched
+}
+
+// Locate simulates every candidate fault against the applied patterns and
+// ranks them against the syndrome. Returns candidates sorted best-first;
+// faults predicting no failing pattern at all are dropped.
+func Locate(n *netlist.Netlist, patterns []faultsim.Pattern, syn *Syndrome, candidates []faults.Fault) ([]Candidate, error) {
+	if len(syn.Failing) != len(patterns) {
+		return nil, fmt.Errorf("diagnose: syndrome covers %d patterns, %d applied",
+			len(syn.Failing), len(patterns))
+	}
+	sim := faultsim.New(n)
+	eng := sim.NewEngine()
+
+	// Observed failing set as bit words per 64-pattern block.
+	blocks := (len(patterns) + 63) / 64
+	observed := make([]uint64, blocks)
+	for i, f := range syn.Failing {
+		if f {
+			observed[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+
+	var out []Candidate
+	for _, f := range candidates {
+		var matched, missed, extra int
+		any := false
+		for b := 0; b < blocks; b++ {
+			lo := b * 64
+			hi := lo + 64
+			if hi > len(patterns) {
+				hi = len(patterns)
+			}
+			good, err := sim.GoodSim(patterns[lo:hi])
+			if err != nil {
+				return nil, err
+			}
+			det := eng.Detects(f, good)
+			if det != 0 {
+				any = true
+			}
+			obs := observed[b]
+			matched += bits.OnesCount64(det & obs)
+			missed += bits.OnesCount64(obs &^ det)
+			extra += bits.OnesCount64(det &^ obs)
+		}
+		if !any {
+			continue
+		}
+		out = append(out, Candidate{Fault: f, Matched: matched, Missed: missed, Extra: extra})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, mi := out[i].score()
+		dj, mj := out[j].score()
+		if di != dj {
+			return di < dj
+		}
+		return mi < mj
+	})
+	return out, nil
+}
+
+// TSVSuspects maps a ranked candidate list onto the die's TSVs: a fault
+// inside an inbound TSV's fan-out cone (or whose effect feeds an outbound
+// TSV port's fan-in cone) implicates that TSV's wrapper path. Returns TSV
+// names in implication order, deduplicated.
+func TSVSuspects(n *netlist.Netlist, ranked []Candidate, maxFaults int) []string {
+	if maxFaults <= 0 || maxFaults > len(ranked) {
+		maxFaults = len(ranked)
+	}
+	var cones []*netlist.BitSet
+	var names []string
+	for _, t := range n.InboundTSVs() {
+		cones = append(cones, n.FanoutCone(t))
+		names = append(names, n.NameOf(t))
+	}
+	for _, oi := range n.OutboundTSVs() {
+		cones = append(cones, n.FaninCone(n.Outputs[oi].Signal))
+		names = append(names, n.Outputs[oi].Name)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range ranked[:maxFaults] {
+		for i, cone := range cones {
+			if cone.Has(c.Fault.Gate) && !seen[names[i]] {
+				seen[names[i]] = true
+				out = append(out, names[i])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package diagnose
+
+import (
+	"testing"
+
+	"wcm3d/internal/atpg"
+	"wcm3d/internal/faults"
+	"wcm3d/internal/faultsim"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/scan"
+)
+
+// defectiveSyndrome simulates a die with one injected fault and returns
+// the syndrome a tester would record for the pattern set.
+func defectiveSyndrome(t *testing.T, n *netlist.Netlist, truth faults.Fault, patterns []faultsim.Pattern) *Syndrome {
+	t.Helper()
+	sim := faultsim.New(n)
+	eng := sim.NewEngine()
+	syn := &Syndrome{Failing: make([]bool, len(patterns))}
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		good, err := sim.GoodSim(patterns[base:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := eng.Detects(truth, good)
+		for k := 0; k < end-base; k++ {
+			if det&(1<<uint(k)) != 0 {
+				syn.Failing[base+k] = true
+			}
+		}
+	}
+	return syn
+}
+
+func wrappedDie(t *testing.T) (*netlist.Netlist, []faultsim.Pattern, []faults.Fault) {
+	t.Helper()
+	raw, err := netgen.Random(netgen.RandomOptions{
+		Gates: 250, FFs: 12, PIs: 5, POs: 3, InboundTSVs: 8, OutboundTSVs: 6, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully wrapped: the realistic post-DFT test view.
+	tn, err := scan.ApplyTestMode(raw, scan.FullWrap(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := faults.CollapsedList(raw)
+	res, err := atpg.Run(tn, universe, atpg.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn, res.Patterns, universe
+}
+
+func TestLocateRanksTrueFaultFirst(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	// Pick a few detectable truths and check each diagnoses to itself
+	// (or an equivalent fault with an identical signature).
+	sim := faultsim.New(tn)
+	eng := sim.NewEngine()
+	diagnosed := 0
+	for i := 0; i < len(universe) && diagnosed < 8; i += len(universe)/8 + 1 {
+		truth := universe[i]
+		syn := defectiveSyndrome(t, tn, truth, patterns)
+		if syn.FailCount() == 0 {
+			continue // undetectable truth: nothing to diagnose
+		}
+		ranked, err := Locate(tn, patterns, syn, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranked) == 0 {
+			t.Fatalf("no candidates for %s", truth.Describe(tn))
+		}
+		best := ranked[0]
+		if !best.Exact() {
+			t.Errorf("truth %s: best candidate %s not exact (missed %d, extra %d)",
+				truth.Describe(tn), best.Fault.Describe(tn), best.Missed, best.Extra)
+		}
+		// The true fault itself must appear among the exact matches.
+		foundTruth := false
+		for _, c := range ranked {
+			if !c.Exact() {
+				break
+			}
+			if c.Fault == truth {
+				foundTruth = true
+				break
+			}
+		}
+		if !foundTruth {
+			t.Errorf("truth %s missing from exact matches", truth.Describe(tn))
+		}
+		diagnosed++
+		_ = eng
+	}
+	if diagnosed < 4 {
+		t.Fatalf("only %d faults diagnosed", diagnosed)
+	}
+}
+
+func TestLocateRejectsMismatchedSyndrome(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	if _, err := Locate(tn, patterns, &Syndrome{Failing: make([]bool, 3)}, universe); err == nil {
+		t.Error("syndrome length mismatch must error")
+	}
+}
+
+func TestTSVSuspects(t *testing.T) {
+	raw, err := netgen.Random(netgen.RandomOptions{
+		Gates: 150, FFs: 8, PIs: 4, POs: 2, InboundTSVs: 5, OutboundTSVs: 4, Seed: 93,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fault right at an inbound pad must implicate that pad.
+	pad := raw.InboundTSVs()[2]
+	ranked := []Candidate{{Fault: faults.Fault{Gate: pad, Pin: faults.OutputPin, StuckAt: 1}}}
+	suspects := TSVSuspects(raw, ranked, 1)
+	want := raw.NameOf(pad)
+	found := false
+	for _, s := range suspects {
+		if s == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suspects %v do not include %s", suspects, want)
+	}
+}

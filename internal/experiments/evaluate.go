@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wcm3d/internal/atpg"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/scan"
+	"wcm3d/internal/sta"
+)
+
+// Testability is the ATPG outcome for one wrapped die under one fault
+// model.
+type Testability struct {
+	// Coverage is the test coverage (detected / non-redundant faults) —
+	// the metric commercial ATPG reports and the paper tabulates.
+	Coverage float64
+	// RawCoverage is detected / all faults.
+	RawCoverage float64
+	// Patterns is the test-pattern count (vector pairs count as two for
+	// transition tests, matching commercial reporting).
+	Patterns int
+}
+
+func (t Testability) String() string {
+	return fmt.Sprintf("(%.2f%%, %d)", 100*t.Coverage, t.Patterns)
+}
+
+// ATPGBudget tunes the per-die ATPG effort used by the experiments. The
+// zero value uses atpg defaults; Reduced() keeps benchmark iterations fast.
+type ATPGBudget struct {
+	Stuck      atpg.Options
+	Transition atpg.Options
+}
+
+// DefaultBudget gives the full-effort configuration used by cmd/tables.
+func DefaultBudget(seed int64) ATPGBudget {
+	return ATPGBudget{
+		Stuck:      atpg.Options{Seed: seed},
+		Transition: atpg.Options{Seed: seed},
+	}
+}
+
+// ReducedBudget caps the expensive deterministic phase — for testing.B
+// benchmark loops and quick table runs where per-run cost matters more
+// than the last percent of coverage. Counter-intuitively, a fast budget
+// keeps the random phase GENEROUS (random patterns are cheap and every
+// extra detection is one fewer PODEM target) and starves only PODEM.
+func ReducedBudget(seed int64) ATPGBudget {
+	o := atpg.Options{Seed: seed, MaxRandomBlocks: 48, MaxBacktracks: 6, MinNewDetects: 1, MaxDeterministic: 3000}
+	return ATPGBudget{Stuck: o, Transition: o}
+}
+
+// EvaluateStuckAt wraps the die per the plan and runs stuck-at ATPG against
+// the die's functional fault universe.
+func EvaluateStuckAt(d *Die, asn *scan.Assignment, budget ATPGBudget) (Testability, error) {
+	tn, err := scan.ApplyTestMode(d.Netlist, asn)
+	if err != nil {
+		return Testability{}, err
+	}
+	res, err := atpg.Run(tn, d.StuckAt, budget.Stuck)
+	if err != nil {
+		return Testability{}, err
+	}
+	return Testability{
+		Coverage:    res.TestCoverage(),
+		RawCoverage: res.Coverage(),
+		Patterns:    res.PatternCount(),
+	}, nil
+}
+
+// EvaluateTransition is EvaluateStuckAt for the transition-delay model.
+func EvaluateTransition(d *Die, asn *scan.Assignment, budget ATPGBudget) (Testability, error) {
+	tn, err := scan.ApplyTestMode(d.Netlist, asn)
+	if err != nil {
+		return Testability{}, err
+	}
+	res, err := atpg.RunTransition(tn, d.Transition, budget.Transition)
+	if err != nil {
+		return Testability{}, err
+	}
+	return Testability{
+		Coverage:    res.TestCoverage(),
+		RawCoverage: res.Coverage(),
+		Patterns:    res.PatternCount(),
+	}, nil
+}
+
+// CheckTiming applies the plan's physical test hardware in functional mode
+// and reports whether the die still meets its clock (Table III's
+// "timing violation" column), along with the worst slack.
+func CheckTiming(d *Die, asn *scan.Assignment) (violation bool, wnsPS float64, err error) {
+	fn, fpl, err := scan.ApplyFunctionalMode(d.Netlist, d.Placement, d.Lib, asn)
+	if err != nil {
+		return false, 0, err
+	}
+	r, err := sta.Analyze(fn, d.Lib, sta.Config{
+		ClockPS:   d.ClockPS,
+		Placement: fpl,
+		TieLow:    functionalCase(fn),
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	wns := r.WNS()
+	return wns < 0, wns, nil
+}
+
+// functionalCase returns the case-analysis set for functional signoff:
+// test_en tied low, exactly as PrimeTime would be driven. Test-mode paths
+// (XOR fold chains behind de-selected mux pins) then contribute load but no
+// timed path.
+func functionalCase(fn *netlist.Netlist) []netlist.SignalID {
+	if id, ok := fn.SignalByName(scan.TestEnableName); ok {
+		return []netlist.SignalID{id}
+	}
+	return nil
+}

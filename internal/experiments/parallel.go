@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// forEachIndex runs fn(i) for i in [0, n) across a bounded worker pool and
+// returns the first error (by index order, so failures are deterministic).
+// Every experiment in this package is embarrassingly parallel across dies:
+// each die owns its netlist, placement and timing, and rows are written to
+// disjoint indices.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: worker panic on item %d: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := call(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = call(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package netgen
+
+// Profile describes one die of a partitioned benchmark circuit: the exact
+// counters Table II of the paper reports. Generate produces a synthetic
+// gate-level die matching the profile exactly.
+type Profile struct {
+	// Circuit is the benchmark family name ("b12").
+	Circuit string
+	// Die is the die index within the 4-die stack (0-3).
+	Die int
+	// ScanFFs, Gates, InboundTSVs and OutboundTSVs are the Table II
+	// counters: scan flip-flops, combinational gates, TSV outputs
+	// entering this die and TSV inputs leaving it.
+	ScanFFs      int
+	Gates        int
+	InboundTSVs  int
+	OutboundTSVs int
+	// PIs and POs are bonded pad counts (not in Table II; sized
+	// proportionally to the die).
+	PIs, POs int
+}
+
+// Name returns the die identifier used in reports, e.g. "b12/Die2".
+func (p Profile) Name() string {
+	return p.Circuit + "/Die" + string(rune('0'+p.Die))
+}
+
+// itc99 lists the 24 dies of Table II: six ITC'99 circuits (b11, b12, b18,
+// b20, b21, b22) partitioned into four dies each by the authors' 3D flow.
+// ScanFFs/Gates/Inbound/Outbound are copied from the paper; PI/PO counts
+// are chosen at ITC'99-typical scale.
+var itc99 = []Profile{
+	{"b11", 0, 14, 120, 14, 16, 5, 4},
+	{"b11", 1, 15, 234, 27, 43, 4, 3},
+	{"b11", 2, 3, 229, 38, 38, 3, 3},
+	{"b11", 3, 9, 148, 23, 11, 3, 4},
+
+	{"b12", 0, 7, 304, 23, 27, 4, 4},
+	{"b12", 1, 18, 397, 41, 41, 3, 4},
+	{"b12", 2, 45, 344, 23, 42, 4, 3},
+	{"b12", 3, 51, 317, 25, 5, 4, 4},
+
+	{"b18", 0, 515, 22934, 772, 733, 10, 8},
+	{"b18", 1, 1033, 26698, 1561, 1875, 9, 8},
+	{"b18", 2, 833, 23575, 1732, 1797, 9, 9},
+	{"b18", 3, 641, 20825, 810, 771, 9, 8},
+
+	{"b20", 0, 180, 6937, 251, 363, 8, 6},
+	{"b20", 1, 49, 8603, 720, 780, 8, 6},
+	{"b20", 2, 118, 8101, 740, 778, 8, 6},
+	{"b20", 3, 83, 7325, 408, 235, 8, 6},
+
+	{"b21", 0, 196, 6200, 264, 328, 8, 6},
+	{"b21", 1, 113, 9172, 836, 775, 8, 6},
+	{"b21", 2, 69, 9093, 837, 895, 8, 6},
+	{"b21", 3, 52, 6402, 368, 343, 8, 6},
+
+	{"b22", 0, 225, 9427, 499, 483, 8, 6},
+	{"b22", 1, 201, 12726, 1006, 1065, 8, 6},
+	{"b22", 2, 181, 13075, 1031, 1064, 8, 6},
+	{"b22", 3, 6, 11358, 511, 481, 8, 6},
+}
+
+// ITC99Profiles returns the 24 die profiles of Table II. The returned slice
+// is a copy; callers may mutate it.
+func ITC99Profiles() []Profile {
+	return append([]Profile(nil), itc99...)
+}
+
+// ITC99Circuit returns the four die profiles of one benchmark family
+// ("b11" ... "b22"), or nil if unknown.
+func ITC99Circuit(name string) []Profile {
+	var out []Profile
+	for _, p := range itc99 {
+		if p.Circuit == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ITC99CircuitNames returns the six family names in paper order.
+func ITC99CircuitNames() []string {
+	return []string{"b11", "b12", "b18", "b20", "b21", "b22"}
+}

@@ -1,0 +1,206 @@
+package netlist
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bit vector keyed by SignalID. Cone membership
+// of every TSV and flip-flop is stored this way so that the graph
+// constructor can test fan-in/fan-out cone overlap in O(words) time.
+type BitSet struct {
+	words []uint64
+	n     int
+}
+
+// NewBitSet returns a set able to hold n signals.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set marks the signal as a member.
+func (b *BitSet) Set(id SignalID) { b.words[id>>6] |= 1 << (uint(id) & 63) }
+
+// Has reports membership.
+func (b *BitSet) Has(id SignalID) bool {
+	return b.words[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+// Count returns the number of members.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Intersects reports whether the two sets share any member. Both sets must
+// have the same capacity.
+func (b *BitSet) Intersects(o *BitSet) bool {
+	for i, w := range b.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectCount returns the number of shared members.
+func (b *BitSet) IntersectCount(o *BitSet) int {
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// IntersectsExcluding reports whether the two sets share any member outside
+// the excluded set.
+func (b *BitSet) IntersectsExcluding(o, excl *BitSet) bool {
+	for i, w := range b.words {
+		if w&o.words[i]&^excl.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectCountExcluding counts shared members outside the excluded set.
+func (b *BitSet) IntersectCountExcluding(o, excl *BitSet) int {
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & o.words[i] &^ excl.words[i])
+	}
+	return c
+}
+
+// Or merges o into b.
+func (b *BitSet) Or(o *BitSet) {
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// Members returns the member IDs in ascending order.
+func (b *BitSet) Members() []SignalID {
+	var out []SignalID
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, SignalID(wi*64+bit))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Clone returns a copy.
+func (b *BitSet) Clone() *BitSet {
+	return &BitSet{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// FaninCone returns the combinational fan-in cone of a signal: the signal
+// itself plus everything reachable backward through combinational gates,
+// stopping at (and including) sources and flip-flop outputs.
+func (n *Netlist) FaninCone(id SignalID) *BitSet {
+	cone := NewBitSet(len(n.Gates))
+	stack := []SignalID{id}
+	cone.Set(id)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g := &n.Gates[s]
+		if g.Type.IsSource() || (g.Type == GateDFF && s != id) {
+			continue // stop at sequential/primary boundaries
+		}
+		for _, f := range g.Fanin {
+			if !cone.Has(f) {
+				cone.Set(f)
+				stack = append(stack, f)
+			}
+		}
+	}
+	return cone
+}
+
+// FanoutCone returns the combinational fan-out cone of a signal: the signal
+// itself plus everything reachable forward through combinational gates,
+// stopping at (and including) flip-flop D pins. The flip-flop gate itself is
+// included as the stopping point; its own fanout is not traversed.
+func (n *Netlist) FanoutCone(id SignalID) *BitSet {
+	n.ensureDerived()
+	cone := NewBitSet(len(n.Gates))
+	stack := []SignalID{id}
+	cone.Set(id)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Gates[s].Type == GateDFF && s != id {
+			continue // captured by a flip-flop; stop
+		}
+		for _, fo := range n.fanouts[s] {
+			if !cone.Has(fo) {
+				cone.Set(fo)
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return cone
+}
+
+// ConeSet holds the precomputed fan-in and fan-out cones for the signals
+// the WCM flow cares about (flip-flops and TSV endpoints). Building cones
+// once up front turns every pairwise overlap test during graph construction
+// into a cheap bitset intersection.
+type ConeSet struct {
+	netlist *Netlist
+	fanin   map[SignalID]*BitSet
+	fanout  map[SignalID]*BitSet
+}
+
+// NewConeSet precomputes cones for the given signals.
+func NewConeSet(n *Netlist, signals []SignalID) *ConeSet {
+	cs := &ConeSet{
+		netlist: n,
+		fanin:   make(map[SignalID]*BitSet, len(signals)),
+		fanout:  make(map[SignalID]*BitSet, len(signals)),
+	}
+	for _, s := range signals {
+		cs.fanin[s] = n.FaninCone(s)
+		cs.fanout[s] = n.FanoutCone(s)
+	}
+	return cs
+}
+
+// Fanin returns the precomputed fan-in cone, computing and caching it if the
+// signal was not in the initial set.
+func (cs *ConeSet) Fanin(s SignalID) *BitSet {
+	c, ok := cs.fanin[s]
+	if !ok {
+		c = cs.netlist.FaninCone(s)
+		cs.fanin[s] = c
+	}
+	return c
+}
+
+// Fanout returns the precomputed fan-out cone, computing and caching it if
+// the signal was not in the initial set.
+func (cs *ConeSet) Fanout(s SignalID) *BitSet {
+	c, ok := cs.fanout[s]
+	if !ok {
+		c = cs.netlist.FanoutCone(s)
+		cs.fanout[s] = c
+	}
+	return c
+}
+
+// FanoutOverlap reports whether the fan-out cones of two signals share any
+// gate — the condition the paper's Algorithm 1 tests before allowing a scan
+// flip-flop to be shared "safely" with an inbound TSV.
+func (cs *ConeSet) FanoutOverlap(a, b SignalID) bool {
+	return cs.Fanout(a).Intersects(cs.Fanout(b))
+}
+
+// FaninOverlap reports whether the fan-in cones of two signals share any
+// gate — the analogous condition on the observation side (outbound TSVs).
+func (cs *ConeSet) FaninOverlap(a, b SignalID) bool {
+	return cs.Fanin(a).Intersects(cs.Fanin(b))
+}

@@ -1,0 +1,81 @@
+package netlist
+
+import "fmt"
+
+// Evaluate performs a single-pattern two-valued simulation of the
+// combinational logic. `assign` maps every source signal (primary inputs,
+// TSV pads, flip-flop outputs) to a value; constants are implied. It
+// returns the value of every signal, indexed by SignalID.
+//
+// This scalar evaluator is the reference model: the bit-parallel simulator
+// in internal/faultsim is checked against it property-style in tests.
+func (n *Netlist) Evaluate(assign map[SignalID]bool) ([]bool, error) {
+	vals := make([]bool, len(n.Gates))
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		switch g.Type {
+		case GateConst0:
+			vals[id] = false
+		case GateConst1:
+			vals[id] = true
+		case GateInput, GateTSVIn, GateDFF:
+			v, ok := assign[id]
+			if !ok && g.Type != GateDFF {
+				return nil, fmt.Errorf("netlist: no value assigned to source %q", g.Name)
+			}
+			vals[id] = v // unassigned DFF defaults to false (reset state)
+		default:
+			v, err := evalGate(g.Type, g.Fanin, vals)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: gate %q: %w", g.Name, err)
+			}
+			vals[id] = v
+		}
+	}
+	return vals, nil
+}
+
+func evalGate(t GateType, fanin []SignalID, vals []bool) (bool, error) {
+	in := func(i int) bool { return vals[fanin[i]] }
+	switch t {
+	case GateBuf:
+		return in(0), nil
+	case GateNot:
+		return !in(0), nil
+	case GateAnd, GateNand:
+		v := true
+		for i := range fanin {
+			v = v && in(i)
+		}
+		if t == GateNand {
+			v = !v
+		}
+		return v, nil
+	case GateOr, GateNor:
+		v := false
+		for i := range fanin {
+			v = v || in(i)
+		}
+		if t == GateNor {
+			v = !v
+		}
+		return v, nil
+	case GateXor, GateXnor:
+		v := false
+		for i := range fanin {
+			v = v != in(i)
+		}
+		if t == GateXnor {
+			v = !v
+		}
+		return v, nil
+	case GateMux2:
+		// fanin order: (sel, a, b); sel=0 -> a, sel=1 -> b.
+		if in(0) {
+			return in(2), nil
+		}
+		return in(1), nil
+	default:
+		return false, fmt.Errorf("cannot evaluate %s", t)
+	}
+}

@@ -1,0 +1,31 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the .bench parser with arbitrary input: it must
+// reject or accept but never panic, and anything it accepts must survive a
+// write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleBench)
+	f.Add("INPUT(a)\nz = NOT(a)\nOUTPUT(z)\n")
+	f.Add("TSV_IN(t)\nq = DFF(t)\nTSV_OUT(u) = q\n")
+	f.Add("x = AND(a, b)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nz = MUX(a, a, a)\nOUTPUT(z)")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString("fuzz", src)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := n.Write(&sb); err != nil {
+			t.Fatalf("accepted netlist fails to write: %v", err)
+		}
+		if _, err := ParseString("fuzz2", sb.String()); err != nil {
+			t.Fatalf("written netlist fails to reparse: %v\n%s", err, sb.String())
+		}
+	})
+}

@@ -1,0 +1,430 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Netlist is a single die's gate-level circuit. Build one either with the
+// Builder API below, with the .bench dialect parser (see Parse), or with
+// the synthetic generator in internal/netgen.
+//
+// The zero value is an empty, usable netlist.
+type Netlist struct {
+	// Name labels the die (for example "b12_die2").
+	Name string
+	// Gates stores every cell; a gate's index is its SignalID.
+	Gates []Gate
+	// Outputs lists the die output ports (primary outputs and outbound
+	// TSVs).
+	Outputs []Output
+
+	byName map[string]SignalID
+
+	// Derived structures; (re)built lazily and invalidated by mutation.
+	fanouts   [][]SignalID
+	levelOrd  []SignalID
+	levelOf   []int32
+	derivedOK bool
+}
+
+// New returns an empty netlist with the given name.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]SignalID)}
+}
+
+// ErrDuplicateName is returned when a signal or port name is reused.
+var ErrDuplicateName = errors.New("netlist: duplicate name")
+
+// ErrUnknownSignal is returned when a referenced signal does not exist.
+var ErrUnknownSignal = errors.New("netlist: unknown signal")
+
+// NumGates returns the total number of gates including pseudo-gates
+// (inputs, TSV pads, constants).
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// Gate returns the gate driving the signal. The returned pointer stays
+// valid until the next AddGate call.
+func (n *Netlist) Gate(id SignalID) *Gate { return &n.Gates[id] }
+
+// SignalByName looks a signal up by its output name.
+func (n *Netlist) SignalByName(name string) (SignalID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// NameOf returns the signal's name.
+func (n *Netlist) NameOf(id SignalID) string { return n.Gates[id].Name }
+
+// TypeOf returns the driving gate's type.
+func (n *Netlist) TypeOf(id SignalID) GateType { return n.Gates[id].Type }
+
+// Valid reports whether id refers to a gate in this netlist.
+func (n *Netlist) Valid(id SignalID) bool {
+	return id >= 0 && int(id) < len(n.Gates)
+}
+
+// AddGate appends a gate and returns the SignalID of its output. It
+// validates the name, the fanin count for the cell type, and every fanin
+// reference.
+func (n *Netlist) AddGate(typ GateType, name string, fanin ...SignalID) (SignalID, error) {
+	if name == "" {
+		return InvalidSignal, errors.New("netlist: empty gate name")
+	}
+	if n.byName == nil {
+		n.byName = make(map[string]SignalID)
+	}
+	if _, dup := n.byName[name]; dup {
+		return InvalidSignal, fmt.Errorf("%w: signal %q", ErrDuplicateName, name)
+	}
+	if min := typ.MinFanin(); len(fanin) < min {
+		return InvalidSignal, fmt.Errorf("netlist: %s %q needs at least %d fanin, got %d", typ, name, min, len(fanin))
+	}
+	if max := typ.MaxFanin(); max >= 0 && len(fanin) > max {
+		return InvalidSignal, fmt.Errorf("netlist: %s %q accepts at most %d fanin, got %d", typ, name, max, len(fanin))
+	}
+	for _, f := range fanin {
+		if !n.Valid(f) {
+			return InvalidSignal, fmt.Errorf("%w: fanin %d of %q", ErrUnknownSignal, f, name)
+		}
+	}
+	id := SignalID(len(n.Gates))
+	n.Gates = append(n.Gates, Gate{Type: typ, Name: name, Fanin: append([]SignalID(nil), fanin...)})
+	n.byName[name] = id
+	n.derivedOK = false
+	return id, nil
+}
+
+// MustAddGate is AddGate for construction code paths where the arguments
+// are known to be valid (generators, tests). It panics on error.
+func (n *Netlist) MustAddGate(typ GateType, name string, fanin ...SignalID) SignalID {
+	id, err := n.AddGate(typ, name, fanin...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddOutput declares a die output port observing the given signal.
+func (n *Netlist) AddOutput(name string, sig SignalID, class PortClass) error {
+	if name == "" {
+		return errors.New("netlist: empty output name")
+	}
+	if !n.Valid(sig) {
+		return fmt.Errorf("%w: output %q observes signal %d", ErrUnknownSignal, name, sig)
+	}
+	for _, o := range n.Outputs {
+		if o.Name == name {
+			return fmt.Errorf("%w: output %q", ErrDuplicateName, name)
+		}
+	}
+	n.Outputs = append(n.Outputs, Output{Name: name, Signal: sig, Class: class})
+	return nil
+}
+
+// RewireFanin replaces pin `pin` of gate `g` to be driven by `newSrc`.
+// This is the primitive the DFT editor uses to splice test-mode muxes into
+// an existing circuit.
+func (n *Netlist) RewireFanin(g SignalID, pin int, newSrc SignalID) error {
+	if !n.Valid(g) || !n.Valid(newSrc) {
+		return ErrUnknownSignal
+	}
+	gate := &n.Gates[g]
+	if pin < 0 || pin >= len(gate.Fanin) {
+		return fmt.Errorf("netlist: gate %q has no pin %d", gate.Name, pin)
+	}
+	gate.Fanin[pin] = newSrc
+	n.derivedOK = false
+	return nil
+}
+
+// AppendFanin adds one more input pin to an n-ary gate (AND/OR/NAND/NOR/
+// XOR/XNOR families). The generator's dead-logic mop-up uses it to widen a
+// gate without displacing existing sources.
+func (n *Netlist) AppendFanin(g SignalID, newSrc SignalID) error {
+	if !n.Valid(g) || !n.Valid(newSrc) {
+		return ErrUnknownSignal
+	}
+	gate := &n.Gates[g]
+	if max := gate.Type.MaxFanin(); max >= 0 && len(gate.Fanin) >= max {
+		return fmt.Errorf("netlist: %s %q cannot take another pin", gate.Type, gate.Name)
+	}
+	gate.Fanin = append(gate.Fanin, newSrc)
+	n.derivedOK = false
+	return nil
+}
+
+// RewireOutput repoints output port index `idx` at a new signal.
+func (n *Netlist) RewireOutput(idx int, newSrc SignalID) error {
+	if idx < 0 || idx >= len(n.Outputs) {
+		return fmt.Errorf("netlist: no output index %d", idx)
+	}
+	if !n.Valid(newSrc) {
+		return ErrUnknownSignal
+	}
+	n.Outputs[idx].Signal = newSrc
+	n.derivedOK = false
+	return nil
+}
+
+// Inputs returns the SignalIDs of all primary inputs (excluding TSV pads),
+// in gate order.
+func (n *Netlist) Inputs() []SignalID { return n.signalsOfType(GateInput) }
+
+// InboundTSVs returns the SignalIDs of all inbound TSV landing pads.
+func (n *Netlist) InboundTSVs() []SignalID { return n.signalsOfType(GateTSVIn) }
+
+// FlipFlops returns the SignalIDs of all D flip-flops.
+func (n *Netlist) FlipFlops() []SignalID { return n.signalsOfType(GateDFF) }
+
+// OutboundTSVs returns the indices into Outputs of all outbound-TSV ports.
+func (n *Netlist) OutboundTSVs() []int {
+	var idx []int
+	for i, o := range n.Outputs {
+		if o.Class == PortTSVOut {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// PrimaryOutputs returns the indices into Outputs of ordinary PO pads.
+func (n *Netlist) PrimaryOutputs() []int {
+	var idx []int
+	for i, o := range n.Outputs {
+		if o.Class == PortPO {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// NumLogicGates counts combinational cells only — the "gate count" that
+// Table II of the paper reports (inputs, TSV pads, constants and flip-flops
+// excluded).
+func (n *Netlist) NumLogicGates() int {
+	c := 0
+	for i := range n.Gates {
+		if n.Gates[i].Type.IsCombinational() {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *Netlist) signalsOfType(t GateType) []SignalID {
+	var ids []SignalID
+	for i := range n.Gates {
+		if n.Gates[i].Type == t {
+			ids = append(ids, SignalID(i))
+		}
+	}
+	return ids
+}
+
+// Fanouts returns, for every signal, the gates it feeds. The slice is
+// indexed by SignalID and must not be mutated. Output ports do not appear:
+// use Outputs for those.
+func (n *Netlist) Fanouts() [][]SignalID {
+	n.ensureDerived()
+	return n.fanouts
+}
+
+// FanoutCount returns the number of gate pins driven by the signal plus
+// the number of output ports observing it — the electrical fanout used by
+// the timing model.
+func (n *Netlist) FanoutCount(id SignalID) int {
+	n.ensureDerived()
+	c := len(n.fanouts[id])
+	for _, o := range n.Outputs {
+		if o.Signal == id {
+			c++
+		}
+	}
+	return c
+}
+
+// TopoOrder returns every signal in topological order: sources and
+// flip-flop outputs first, then combinational gates such that each gate
+// appears after all of its fanins (flip-flop D pins do not constrain the
+// order — a DFF is a source for ordering purposes). The returned slice is
+// shared; do not mutate.
+func (n *Netlist) TopoOrder() []SignalID {
+	n.ensureDerived()
+	return n.levelOrd
+}
+
+// Level returns the logic depth of a signal: 0 for sources and flip-flop
+// outputs, 1 + max(fanin levels) for combinational gates.
+func (n *Netlist) Level(id SignalID) int {
+	n.ensureDerived()
+	return int(n.levelOf[id])
+}
+
+// MaxLevel returns the deepest combinational level in the circuit.
+func (n *Netlist) MaxLevel() int {
+	n.ensureDerived()
+	max := 0
+	for _, l := range n.levelOf {
+		if int(l) > max {
+			max = int(l)
+		}
+	}
+	return max
+}
+
+func (n *Netlist) ensureDerived() {
+	if n.derivedOK {
+		return
+	}
+	n.buildFanouts()
+	n.levelize()
+	n.derivedOK = true
+}
+
+func (n *Netlist) buildFanouts() {
+	n.fanouts = make([][]SignalID, len(n.Gates))
+	for i := range n.Gates {
+		for _, f := range n.Gates[i].Fanin {
+			n.fanouts[f] = append(n.fanouts[f], SignalID(i))
+		}
+	}
+}
+
+// levelize computes a topological order over the combinational graph.
+// Flip-flops break cycles: a DFF's Q is a source, its D pin is a sink.
+func (n *Netlist) levelize() {
+	nGates := len(n.Gates)
+	n.levelOf = make([]int32, nGates)
+	n.levelOrd = make([]SignalID, 0, nGates)
+	pending := make([]int32, nGates) // unresolved fanin count
+	queue := make([]SignalID, 0, nGates)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type.IsSource() || g.Type == GateDFF {
+			queue = append(queue, SignalID(i))
+			continue
+		}
+		pending[i] = int32(len(g.Fanin))
+	}
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		n.levelOrd = append(n.levelOrd, id)
+		for _, fo := range n.fanouts[id] {
+			fg := &n.Gates[fo]
+			if fg.Type == GateDFF || fg.Type.IsSource() {
+				continue // D pin is a sink; sources have no fanin
+			}
+			pending[fo]--
+			if pending[fo] == 0 {
+				lvl := int32(0)
+				for _, f := range fg.Fanin {
+					if fl := n.levelOf[f] + 1; fl > lvl {
+						lvl = fl
+					}
+				}
+				n.levelOf[fo] = lvl
+				queue = append(queue, fo)
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants: every combinational gate reachable
+// in topological order (no combinational cycles), unique names, legal fanin
+// counts, and every output port observing a real signal. Generators and the
+// DFT editor call this after construction.
+func (n *Netlist) Validate() error {
+	n.derivedOK = false
+	n.ensureDerived()
+	if len(n.levelOrd) != len(n.Gates) {
+		return fmt.Errorf("netlist %q: combinational cycle detected (%d of %d gates ordered)",
+			n.Name, len(n.levelOrd), len(n.Gates))
+	}
+	seen := make(map[string]struct{}, len(n.Gates))
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if _, dup := seen[g.Name]; dup {
+			return fmt.Errorf("netlist %q: %w: %q", n.Name, ErrDuplicateName, g.Name)
+		}
+		seen[g.Name] = struct{}{}
+		if min := g.Type.MinFanin(); len(g.Fanin) < min {
+			return fmt.Errorf("netlist %q: gate %q (%s) has %d fanin, needs >= %d",
+				n.Name, g.Name, g.Type, len(g.Fanin), min)
+		}
+		if max := g.Type.MaxFanin(); max >= 0 && len(g.Fanin) > max {
+			return fmt.Errorf("netlist %q: gate %q (%s) has %d fanin, max %d",
+				n.Name, g.Name, g.Type, len(g.Fanin), max)
+		}
+		for _, f := range g.Fanin {
+			if !n.Valid(f) {
+				return fmt.Errorf("netlist %q: gate %q references %w %d", n.Name, g.Name, ErrUnknownSignal, f)
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if !n.Valid(o.Signal) {
+			return fmt.Errorf("netlist %q: output %q observes %w %d", n.Name, o.Name, ErrUnknownSignal, o.Signal)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy. The DFT editor clones before mutating so that
+// candidate evaluations never damage the source netlist.
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{
+		Name:    n.Name,
+		Gates:   make([]Gate, len(n.Gates)),
+		Outputs: append([]Output(nil), n.Outputs...),
+		byName:  make(map[string]SignalID, len(n.byName)),
+	}
+	for i := range n.Gates {
+		g := n.Gates[i]
+		g.Fanin = append([]SignalID(nil), g.Fanin...)
+		c.Gates[i] = g
+		c.byName[g.Name] = SignalID(i)
+	}
+	return c
+}
+
+// Stats summarizes a netlist for reporting (Table II of the paper).
+type Stats struct {
+	Name         string
+	ScanFFs      int
+	LogicGates   int
+	InboundTSVs  int
+	OutboundTSVs int
+	PIs          int
+	POs          int
+	MaxLevel     int
+}
+
+// TSVs returns the total TSV count.
+func (s Stats) TSVs() int { return s.InboundTSVs + s.OutboundTSVs }
+
+// CollectStats gathers the summary counters for a die.
+func CollectStats(n *Netlist) Stats {
+	return Stats{
+		Name:         n.Name,
+		ScanFFs:      len(n.FlipFlops()),
+		LogicGates:   n.NumLogicGates(),
+		InboundTSVs:  len(n.InboundTSVs()),
+		OutboundTSVs: len(n.OutboundTSVs()),
+		PIs:          len(n.Inputs()),
+		POs:          len(n.PrimaryOutputs()),
+		MaxLevel:     n.MaxLevel(),
+	}
+}
+
+// SortedNames returns all signal names in lexical order; handy for
+// deterministic debug output and golden tests.
+func (n *Netlist) SortedNames() []string {
+	names := make([]string, 0, len(n.Gates))
+	for i := range n.Gates {
+		names = append(names, n.Gates[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,219 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a netlist in the wcm3d .bench dialect — the classic
+// ISCAS-89/ITC'99 structural format extended with TSV port annotations:
+//
+//	# comment
+//	INPUT(a)
+//	TSV_IN(t0)          # inbound TSV landing pad (floating pre-bond)
+//	OUTPUT(z)
+//	TSV_OUT(u0) = n42   # outbound TSV observing signal n42
+//	q1 = DFF(d1)
+//	n1 = NAND(a, q1)
+//	n2 = MUX(s, a, b)   # s ? b : a
+//	k  = CONST0()
+//
+// Plain `TSV_OUT(x)` (without `= sig`) declares an outbound TSV observing
+// the signal named x, mirroring how `OUTPUT(x)` works in classic bench
+// files. Gate lines may appear before the signals they reference; a second
+// linking pass resolves forward references.
+func Parse(name string, r io.Reader) (*Netlist, error) {
+	n := New(name)
+	type pendingGate struct {
+		line   int
+		out    string
+		typ    GateType
+		fanins []string
+	}
+	type pendingOut struct {
+		line  int
+		port  string
+		sig   string
+		class PortClass
+	}
+	var gates []pendingGate
+	var outs []pendingOut
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") || strings.HasPrefix(line, "TSV_IN("):
+			typ := GateInput
+			if strings.HasPrefix(line, "TSV_IN(") {
+				typ = GateTSVIn
+			}
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, parseErr(name, lineNo, err)
+			}
+			gates = append(gates, pendingGate{line: lineNo, out: arg, typ: typ})
+		case strings.HasPrefix(line, "OUTPUT(") || strings.HasPrefix(line, "TSV_OUT("):
+			class := PortPO
+			if strings.HasPrefix(line, "TSV_OUT(") {
+				class = PortTSVOut
+			}
+			// Either `OUTPUT(x)` or `TSV_OUT(p) = sig`.
+			if eq := strings.IndexByte(line, '='); eq >= 0 {
+				arg, err := parenArg(strings.TrimSpace(line[:eq]))
+				if err != nil {
+					return nil, parseErr(name, lineNo, err)
+				}
+				sig := strings.TrimSpace(line[eq+1:])
+				if sig == "" {
+					return nil, parseErr(name, lineNo, fmt.Errorf("empty signal after '='"))
+				}
+				outs = append(outs, pendingOut{line: lineNo, port: arg, sig: sig, class: class})
+			} else {
+				arg, err := parenArg(line)
+				if err != nil {
+					return nil, parseErr(name, lineNo, err)
+				}
+				outs = append(outs, pendingOut{line: lineNo, port: arg, sig: arg, class: class})
+			}
+		default:
+			// `out = TYPE(in1, in2, ...)`
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, parseErr(name, lineNo, fmt.Errorf("unrecognized line %q", line))
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.IndexByte(rhs, '(')
+			cp := strings.LastIndexByte(rhs, ')')
+			if op < 0 || cp < op {
+				return nil, parseErr(name, lineNo, fmt.Errorf("malformed gate expression %q", rhs))
+			}
+			typName := strings.ToUpper(strings.TrimSpace(rhs[:op]))
+			typ, ok := gateTypeByName(typName)
+			if !ok {
+				return nil, parseErr(name, lineNo, fmt.Errorf("unknown gate type %q", typName))
+			}
+			var fanins []string
+			argStr := strings.TrimSpace(rhs[op+1 : cp])
+			if argStr != "" {
+				for _, a := range strings.Split(argStr, ",") {
+					a = strings.TrimSpace(a)
+					if a == "" {
+						return nil, parseErr(name, lineNo, fmt.Errorf("empty fanin in %q", rhs))
+					}
+					fanins = append(fanins, a)
+				}
+			}
+			gates = append(gates, pendingGate{line: lineNo, out: out, typ: typ, fanins: fanins})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist %q: read: %w", name, err)
+	}
+
+	// Pass 1: create every gate with empty fanin so forward references
+	// resolve; pass 2: link fanins.
+	ids := make(map[string]SignalID, len(gates))
+	for _, pg := range gates {
+		if _, dup := ids[pg.out]; dup {
+			return nil, parseErr(name, pg.line, fmt.Errorf("%w: %q", ErrDuplicateName, pg.out))
+		}
+		id := SignalID(len(n.Gates))
+		n.Gates = append(n.Gates, Gate{Type: pg.typ, Name: pg.out})
+		n.byName[pg.out] = id
+		ids[pg.out] = id
+	}
+	for _, pg := range gates {
+		if len(pg.fanins) == 0 {
+			continue
+		}
+		g := &n.Gates[ids[pg.out]]
+		g.Fanin = make([]SignalID, len(pg.fanins))
+		for i, fn := range pg.fanins {
+			fid, ok := ids[fn]
+			if !ok {
+				return nil, parseErr(name, pg.line, fmt.Errorf("%w: %q feeding %q", ErrUnknownSignal, fn, pg.out))
+			}
+			g.Fanin[i] = fid
+		}
+	}
+	for _, po := range outs {
+		sid, ok := ids[po.sig]
+		if !ok {
+			return nil, parseErr(name, po.line, fmt.Errorf("%w: %q for port %q", ErrUnknownSignal, po.sig, po.port))
+		}
+		if err := n.AddOutput(po.port, sid, po.class); err != nil {
+			return nil, parseErr(name, po.line, err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ParseString is Parse over an in-memory string; used heavily by tests.
+func ParseString(name, src string) (*Netlist, error) {
+	return Parse(name, strings.NewReader(src))
+}
+
+func parseErr(name string, line int, err error) error {
+	return fmt.Errorf("netlist %q line %d: %w", name, line, err)
+}
+
+func parenArg(s string) (string, error) {
+	op := strings.IndexByte(s, '(')
+	cp := strings.LastIndexByte(s, ')')
+	if op < 0 || cp < op {
+		return "", fmt.Errorf("malformed declaration %q", s)
+	}
+	arg := strings.TrimSpace(s[op+1 : cp])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", s)
+	}
+	return arg, nil
+}
+
+func gateTypeByName(s string) (GateType, bool) {
+	switch s {
+	case "BUF", "BUFF":
+		return GateBuf, true
+	case "NOT", "INV":
+		return GateNot, true
+	case "AND":
+		return GateAnd, true
+	case "NAND":
+		return GateNand, true
+	case "OR":
+		return GateOr, true
+	case "NOR":
+		return GateNor, true
+	case "XOR":
+		return GateXor, true
+	case "XNOR":
+		return GateXnor, true
+	case "MUX", "MUX2":
+		return GateMux2, true
+	case "DFF":
+		return GateDFF, true
+	case "CONST0":
+		return GateConst0, true
+	case "CONST1":
+		return GateConst1, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,238 @@
+package netlist
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleBench = `
+# sample die
+INPUT(a)
+INPUT(b)
+TSV_IN(t0)
+TSV_IN(t1)
+OUTPUT(z)
+TSV_OUT(u0) = n1
+q0 = DFF(n2)
+n1 = NAND(a, t0)
+n2 = XOR(n1, q0)
+n3 = OR(t1, b)
+z = AND(n2, n3)
+`
+
+func TestParseSample(t *testing.T) {
+	n, err := ParseString("sample", sampleBench)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	st := CollectStats(n)
+	if st.PIs != 2 || st.InboundTSVs != 2 || st.OutboundTSVs != 1 || st.ScanFFs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.LogicGates != 4 {
+		t.Errorf("LogicGates = %d, want 4", st.LogicGates)
+	}
+	// TSV_OUT(u0) observes n1.
+	out := n.Outputs[n.OutboundTSVs()[0]]
+	if out.Name != "u0" || n.NameOf(out.Signal) != "n1" {
+		t.Errorf("TSV_OUT port wrong: %+v", out)
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	// z is defined after it is used.
+	src := `
+INPUT(a)
+y = NOT(z)
+z = BUF(a)
+OUTPUT(y)
+`
+	n, err := ParseString("fwd", src)
+	if err != nil {
+		t.Fatalf("forward reference should parse: %v", err)
+	}
+	if n.NumGates() != 3 {
+		t.Errorf("NumGates = %d, want 3", n.NumGates())
+	}
+}
+
+func TestParseOutputShorthand(t *testing.T) {
+	// OUTPUT(x) with no '=' observes the signal named x.
+	src := `
+INPUT(a)
+x = BUF(a)
+OUTPUT(x)
+TSV_OUT(x2) = x
+`
+	n, err := ParseString("sh", src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(n.Outputs) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(n.Outputs))
+	}
+	if n.NameOf(n.Outputs[0].Signal) != "x" || n.Outputs[0].Class != PortPO {
+		t.Errorf("OUTPUT shorthand wrong: %+v", n.Outputs[0])
+	}
+	if n.Outputs[1].Class != PortTSVOut {
+		t.Errorf("TSV_OUT class wrong: %+v", n.Outputs[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"garbage", "INPUT(a)\nwhat is this\n", "unrecognized"},
+		{"unknown-type", "INPUT(a)\nx = FROB(a)\n", "unknown gate type"},
+		{"unknown-signal", "INPUT(a)\nx = NOT(missing)\nOUTPUT(x)\n", "unknown signal"},
+		{"dup", "INPUT(a)\nINPUT(a)\n", "duplicate"},
+		{"bad-output", "INPUT(a)\nOUTPUT(nope)\n", "unknown signal"},
+		{"empty-fanin", "INPUT(a)\nx = AND(a, )\n", "empty fanin"},
+		{"malformed-decl", "INPUT a\n", "unrecognized"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.name, c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorTypes(t *testing.T) {
+	_, err := ParseString("e", "INPUT(a)\nINPUT(a)\n")
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("want ErrDuplicateName, got %v", err)
+	}
+	_, err = ParseString("e", "INPUT(a)\nx = NOT(zz)\n")
+	if !errors.Is(err, ErrUnknownSignal) {
+		t.Errorf("want ErrUnknownSignal, got %v", err)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	n1, err := ParseString("rt", sampleBench)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var sb strings.Builder
+	if err := n1.Write(&sb); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	n2, err := ParseString("rt", sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if n1.NumGates() != n2.NumGates() {
+		t.Fatalf("gate count changed: %d -> %d", n1.NumGates(), n2.NumGates())
+	}
+	for i := range n1.Gates {
+		g1, g2 := &n1.Gates[i], &n2.Gates[i]
+		want, ok := n2.SignalByName(g1.Name)
+		if !ok {
+			t.Fatalf("signal %q lost in round trip", g1.Name)
+		}
+		if n2.TypeOf(want) != g1.Type {
+			t.Errorf("signal %q type changed: %s -> %s", g1.Name, g1.Type, n2.TypeOf(want))
+		}
+		if len(g1.Fanin) != len(g2.Fanin) {
+			t.Errorf("signal %q fanin arity changed", g1.Name)
+		}
+	}
+	if len(n1.Outputs) != len(n2.Outputs) {
+		t.Fatalf("output count changed")
+	}
+	for i := range n1.Outputs {
+		o1, o2 := n1.Outputs[i], n2.Outputs[i]
+		if o1.Name != o2.Name || o1.Class != o2.Class ||
+			n1.NameOf(o1.Signal) != n2.NameOf(o2.Signal) {
+			t.Errorf("output %d changed: %+v -> %+v", i, o1, o2)
+		}
+	}
+}
+
+func TestParseGateAliases(t *testing.T) {
+	src := `
+INPUT(a)
+x1 = BUFF(a)
+x2 = INV(a)
+x3 = MUX2(a, x1, x2)
+OUTPUT(x3)
+`
+	n, err := ParseString("alias", src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	id, _ := n.SignalByName("x1")
+	if n.TypeOf(id) != GateBuf {
+		t.Error("BUFF alias not recognized")
+	}
+	id, _ = n.SignalByName("x2")
+	if n.TypeOf(id) != GateNot {
+		t.Error("INV alias not recognized")
+	}
+}
+
+// TestQuickGeneratedRoundTrip: random generated circuits must survive
+// Write→Parse with identical structure (property-based).
+func TestQuickGeneratedRoundTrip(t *testing.T) {
+	f := func(seed int64, ng uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomDAG(rng, 20+int(ng)%60)
+		if n.Validate() != nil {
+			return true // cyclic draws are not round-trip candidates
+		}
+		var sb strings.Builder
+		if err := n.Write(&sb); err != nil {
+			return false
+		}
+		m, err := ParseString(n.Name, sb.String())
+		if err != nil {
+			return false
+		}
+		if m.NumGates() != n.NumGates() || len(m.Outputs) != len(n.Outputs) {
+			return false
+		}
+		for i := range n.Gates {
+			a, b := &n.Gates[i], &m.Gates[i]
+			if a.Name != b.Name || a.Type != b.Type || len(a.Fanin) != len(b.Fanin) {
+				return false
+			}
+			for p := range a.Fanin {
+				if n.NameOf(a.Fanin[p]) != m.NameOf(b.Fanin[p]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserRejectsJunkLines: a sampling of malformed inputs must error,
+// never panic.
+func TestParserRejectsJunkLines(t *testing.T) {
+	junk := []string{
+		"INPUT(", "OUTPUT)", "x == AND(a)", "x = AND a, b",
+		"x = (a, b)", "= AND(a, b)", "x = AND((a, b)", "TSV_OUT() = x",
+		"x = DFF(a, b)", "x = CONST0(a)",
+	}
+	for _, line := range junk {
+		src := "INPUT(a)\n" + line + "\n"
+		if _, err := ParseString("junk", src); err == nil {
+			t.Errorf("accepted junk line %q", line)
+		}
+	}
+}

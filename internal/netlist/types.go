@@ -1,0 +1,192 @@
+// Package netlist defines the gate-level netlist data structure shared by
+// every subsystem in wcm3d: the synthetic benchmark generator, the placer,
+// the static timing analyzer, the fault simulator, the ATPG engine, and the
+// wrapper-cell minimization flow itself.
+//
+// The representation is index based: every signal in the circuit is the
+// output of exactly one Gate, and a SignalID is the index of that driving
+// gate in Netlist.Gates. Primary inputs, inbound-TSV landing pads and
+// constant sources are modeled as pseudo-gates with no fanin so that the
+// "one driver per signal" invariant holds everywhere.
+package netlist
+
+import "fmt"
+
+// SignalID identifies a signal by the index of its driving gate in
+// Netlist.Gates. The zero value is a valid ID (the first gate); use
+// InvalidSignal for "no signal".
+type SignalID int32
+
+// InvalidSignal is the sentinel for an absent signal reference.
+const InvalidSignal SignalID = -1
+
+// GateType enumerates the primitive cells understood by the whole toolchain.
+// The set intentionally mirrors a small structural subset of a standard-cell
+// library: it is rich enough to express synthesized ITC'99-class logic and
+// the DFT edit operations (test-mode multiplexers and observation XORs).
+type GateType uint8
+
+// Gate types. Input-like pseudo gates come first, then combinational cells,
+// then the sequential cell.
+const (
+	// GateInput is a primary input: a pseudo-gate with no fanin.
+	GateInput GateType = iota + 1
+	// GateTSVIn is the landing pad of an inbound TSV: electrically an
+	// input, but floating (uncontrollable) during pre-bond test unless a
+	// wrapper cell or reused scan flip-flop drives it.
+	GateTSVIn
+	// GateConst0 and GateConst1 are constant sources.
+	GateConst0
+	GateConst1
+	// GateBuf through GateMux2 are combinational cells. GateMux2 has the
+	// fanin order (sel, a, b) and computes "sel ? b : a".
+	GateBuf
+	GateNot
+	GateAnd
+	GateNand
+	GateOr
+	GateNor
+	GateXor
+	GateXnor
+	GateMux2
+	// GateDFF is a D flip-flop; fanin[0] is D and the gate output is Q.
+	// All flip-flops in this project are scan flip-flops: in test mode Q
+	// is fully controllable and D is fully observable through the scan
+	// chain.
+	GateDFF
+)
+
+// String returns the canonical upper-case mnemonic used by the .bench
+// dialect parser and writer.
+func (t GateType) String() string {
+	switch t {
+	case GateInput:
+		return "INPUT"
+	case GateTSVIn:
+		return "TSV_IN"
+	case GateConst0:
+		return "CONST0"
+	case GateConst1:
+		return "CONST1"
+	case GateBuf:
+		return "BUF"
+	case GateNot:
+		return "NOT"
+	case GateAnd:
+		return "AND"
+	case GateNand:
+		return "NAND"
+	case GateOr:
+		return "OR"
+	case GateNor:
+		return "NOR"
+	case GateXor:
+		return "XOR"
+	case GateXnor:
+		return "XNOR"
+	case GateMux2:
+		return "MUX"
+	case GateDFF:
+		return "DFF"
+	default:
+		return fmt.Sprintf("GateType(%d)", uint8(t))
+	}
+}
+
+// IsSource reports whether the type is a pseudo-gate with no fanin.
+func (t GateType) IsSource() bool {
+	switch t {
+	case GateInput, GateTSVIn, GateConst0, GateConst1:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCombinational reports whether the type is a logic cell with fanin that
+// evaluates combinationally.
+func (t GateType) IsCombinational() bool {
+	switch t {
+	case GateBuf, GateNot, GateAnd, GateNand, GateOr, GateNor,
+		GateXor, GateXnor, GateMux2:
+		return true
+	default:
+		return false
+	}
+}
+
+// MinFanin returns the minimum legal fanin count for the type.
+func (t GateType) MinFanin() int {
+	switch t {
+	case GateInput, GateTSVIn, GateConst0, GateConst1:
+		return 0
+	case GateBuf, GateNot, GateDFF:
+		return 1
+	case GateMux2:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum legal fanin count for the type, or -1 when
+// the cell accepts an arbitrary number of inputs.
+func (t GateType) MaxFanin() int {
+	switch t {
+	case GateInput, GateTSVIn, GateConst0, GateConst1:
+		return 0
+	case GateBuf, GateNot, GateDFF:
+		return 1
+	case GateMux2:
+		return 3
+	default:
+		return -1 // n-input AND/OR families
+	}
+}
+
+// Gate is one cell instance. Gates are stored by value inside
+// Netlist.Gates; the gate's SignalID is its slice index.
+type Gate struct {
+	// Type is the primitive cell type.
+	Type GateType
+	// Name is the signal name of the gate output. Names are unique
+	// within a netlist.
+	Name string
+	// Fanin lists the input signals in pin order.
+	Fanin []SignalID
+}
+
+// Port flags classify the role a signal plays at the die boundary.
+type PortClass uint8
+
+// Port classes for Netlist.Outputs entries.
+const (
+	// PortPO marks an ordinary primary output pad.
+	PortPO PortClass = iota + 1
+	// PortTSVOut marks an outbound TSV: a die output that is unobservable
+	// during pre-bond test unless a wrapper cell or reused scan flip-flop
+	// captures it.
+	PortTSVOut
+)
+
+// String returns the mnemonic used in the .bench dialect.
+func (c PortClass) String() string {
+	switch c {
+	case PortPO:
+		return "OUTPUT"
+	case PortTSVOut:
+		return "TSV_OUT"
+	default:
+		return fmt.Sprintf("PortClass(%d)", uint8(c))
+	}
+}
+
+// Output is one die output port: a named observation point on a signal.
+type Output struct {
+	// Name is the port name (unique among outputs).
+	Name string
+	// Signal is the observed signal.
+	Signal SignalID
+	// Class distinguishes bonded-out pads from outbound TSVs.
+	Class PortClass
+}

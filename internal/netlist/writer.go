@@ -1,0 +1,51 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write emits the netlist in the wcm3d .bench dialect accepted by Parse.
+// Round-tripping through Write/Parse preserves structure exactly (gate
+// order, pin order, port classes); tests rely on this.
+func (n *Netlist) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d gates, %d FFs, %d inbound TSVs, %d outbound TSVs\n",
+		n.Name, n.NumLogicGates(), len(n.FlipFlops()), len(n.InboundTSVs()), len(n.OutboundTSVs()))
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		switch g.Type {
+		case GateInput:
+			fmt.Fprintf(bw, "INPUT(%s)\n", g.Name)
+		case GateTSVIn:
+			fmt.Fprintf(bw, "TSV_IN(%s)\n", g.Name)
+		}
+	}
+	for _, o := range n.Outputs {
+		fmt.Fprintf(bw, "%s(%s) = %s\n", o.Class, o.Name, n.Gates[o.Signal].Name)
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type == GateInput || g.Type == GateTSVIn {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = n.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// String renders the netlist in the .bench dialect; intended for debugging
+// and small golden tests only.
+func (n *Netlist) String() string {
+	var sb strings.Builder
+	if err := n.Write(&sb); err != nil {
+		return fmt.Sprintf("<netlist %q: %v>", n.Name, err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"wcm3d/internal/netlist"
+)
+
+// Bond stitches a die stack back into one netlist, connecting every
+// inbound TSV pad to the outbound TSV port of the same name on another
+// die — the post-bond view of the 3D-IC. Pads created by Extract follow
+// the naming convention TSV_IN "tsv_<net>" ↔ TSV_OUT "tsvout_<net>"; pads
+// with no partner (a die tested standalone, or a partial stack) stay as
+// floating TSV_IN pads and their ports remain outbound TSVs.
+//
+// The result is what post-bond testing exercises: with the TSVs bonded,
+// the once-floating pads become ordinary nets driven from neighboring
+// dies, and stack-level scan regains full controllability.
+func Bond(stackName string, dies []*netlist.Netlist) (*netlist.Netlist, error) {
+	if len(dies) == 0 {
+		return nil, fmt.Errorf("partition: empty stack")
+	}
+	bonded := netlist.New(stackName)
+	// Global rename: dieN/<name>, except bonded nets which unify.
+	type padRef struct {
+		die  int
+		gate netlist.SignalID
+	}
+	localID := make([]map[netlist.SignalID]netlist.SignalID, len(dies))
+	var pads []padRef // inbound pads awaiting their driver
+
+	// Pass 1: create gates. Pads become BUFs wired in pass 2; gate names
+	// are prefixed per die, except primary inputs, which unify by name
+	// across dies (Extract replicates them).
+	piOf := map[string]netlist.SignalID{}
+	for d, die := range dies {
+		localID[d] = make(map[netlist.SignalID]netlist.SignalID, die.NumGates())
+		for i := range die.Gates {
+			id := netlist.SignalID(i)
+			g := die.Gate(id)
+			switch g.Type {
+			case netlist.GateInput:
+				pi, ok := piOf[g.Name]
+				if !ok {
+					var err error
+					pi, err = bonded.AddGate(netlist.GateInput, g.Name)
+					if err != nil {
+						return nil, err
+					}
+					piOf[g.Name] = pi
+				}
+				localID[d][id] = pi
+			case netlist.GateTSVIn:
+				// Placeholder buffer; fanin filled when the partner
+				// port is found (or left as a pad if none).
+				nid, err := bonded.AddGate(netlist.GateTSVIn, fmt.Sprintf("d%d_%s", d, g.Name))
+				if err != nil {
+					return nil, err
+				}
+				localID[d][id] = nid
+				pads = append(pads, padRef{d, id})
+			case netlist.GateDFF:
+				// D pins may reference later gates (sequential loops);
+				// create with a self-placeholder and rewire below.
+				nid, err := bonded.AddGate(netlist.GateDFF, fmt.Sprintf("d%d_%s", d, g.Name), netlist.SignalID(0))
+				if err != nil {
+					return nil, err
+				}
+				localID[d][id] = nid
+			default:
+				fanin := make([]netlist.SignalID, len(g.Fanin))
+				for pin, f := range g.Fanin {
+					lf, ok := localID[d][f]
+					if !ok {
+						return nil, fmt.Errorf("partition: die %d gate %q references undeclared %q",
+							d, g.Name, die.NameOf(f))
+					}
+					fanin[pin] = lf
+				}
+				nid, err := bonded.AddGate(g.Type, fmt.Sprintf("d%d_%s", d, g.Name), fanin...)
+				if err != nil {
+					return nil, err
+				}
+				localID[d][id] = nid
+			}
+		}
+	}
+	// Fix up flip-flop D pins now every gate exists.
+	for d, die := range dies {
+		for _, ff := range die.FlipFlops() {
+			src := die.Gate(ff).Fanin[0]
+			lf, ok := localID[d][src]
+			if !ok {
+				return nil, fmt.Errorf("partition: die %d FF %q D source %q missing",
+					d, die.NameOf(ff), die.NameOf(src))
+			}
+			if err := bonded.RewireFanin(localID[d][ff], 0, lf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Index outbound TSV ports by net name.
+	driverOf := map[string]netlist.SignalID{}
+	for d, die := range dies {
+		for _, oi := range die.OutboundTSVs() {
+			port := die.Outputs[oi]
+			net := strings.TrimPrefix(port.Name, "tsvout_")
+			driverOf[net] = localID[d][port.Signal]
+		}
+	}
+	// Pass 2: bond pads to their drivers.
+	bondedCount := 0
+	for _, p := range pads {
+		die := dies[p.die]
+		net := strings.TrimPrefix(die.NameOf(p.gate), "tsv_")
+		drv, ok := driverOf[net]
+		if !ok {
+			continue // unbonded pad (partial stack): stays floating
+		}
+		id := localID[p.die][p.gate]
+		g := bonded.Gate(id)
+		g.Type = netlist.GateBuf
+		g.Fanin = []netlist.SignalID{drv}
+		bondedCount++
+	}
+	// Ports: POs carry over; outbound TSV ports whose net found a partner
+	// are now internal nets and disappear, others stay.
+	for d, die := range dies {
+		for _, o := range die.Outputs {
+			if o.Class == netlist.PortTSVOut {
+				net := strings.TrimPrefix(o.Name, "tsvout_")
+				if _, internal := driverOf[net]; internal && bondedCount > 0 {
+					// Consumed by some pad — but only if a pad for this
+					// net exists; conservatively keep the port when no
+					// pad referenced it.
+					if padExists(dies, net) {
+						continue
+					}
+				}
+			}
+			if err := bonded.AddOutput(fmt.Sprintf("d%d_%s", d, o.Name), localID[d][o.Signal], o.Class); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := bonded.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: bonded stack invalid: %w", err)
+	}
+	return bonded, nil
+}
+
+func padExists(dies []*netlist.Netlist, net string) bool {
+	for _, die := range dies {
+		if _, ok := die.SignalByName("tsv_" + net); ok {
+			return true
+		}
+	}
+	return false
+}

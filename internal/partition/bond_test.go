@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"testing"
+
+	"wcm3d/internal/faults"
+	"wcm3d/internal/faultsim"
+	"wcm3d/internal/netlist"
+)
+
+func TestBondRestoresFunction(t *testing.T) {
+	// Partition a monolith, bond the dies back, and check the bonded
+	// stack computes the same outputs as the original.
+	n := monolith(t, 250, 11)
+	res, err := Partition(n, Options{Dies: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bonded, err := Bond("stack", res.Dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No floating pads: every cut net found its partner.
+	for _, pad := range bonded.InboundTSVs() {
+		t.Errorf("pad %s left floating after full bond", bonded.NameOf(pad))
+	}
+
+	// Functional equivalence on a handful of vectors.
+	for trial := 0; trial < 8; trial++ {
+		assign := map[netlist.SignalID]bool{}
+		for i := range n.Gates {
+			id := netlist.SignalID(i)
+			switch n.TypeOf(id) {
+			case netlist.GateInput, netlist.GateDFF:
+				assign[id] = (i+trial)%3 == 0
+			}
+		}
+		want, err := n.Evaluate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bAssign := map[netlist.SignalID]bool{}
+		for i := range bonded.Gates {
+			id := netlist.SignalID(i)
+			switch bonded.TypeOf(id) {
+			case netlist.GateInput:
+				orig, ok := n.SignalByName(bonded.NameOf(id))
+				if !ok {
+					t.Fatalf("input %q missing in monolith", bonded.NameOf(id))
+				}
+				bAssign[id] = assign[orig]
+			case netlist.GateDFF:
+				name := bonded.NameOf(id)
+				orig, ok := n.SignalByName(name[len("dN_"):])
+				if !ok {
+					t.Fatalf("FF %q missing in monolith", name)
+				}
+				bAssign[id] = assign[orig]
+			}
+		}
+		got, err := bonded.Evaluate(bAssign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, oi := range bonded.PrimaryOutputs() {
+			port := bonded.Outputs[oi]
+			name := port.Name[len("dN_"):]
+			orig, ok := n.SignalByName(func() string {
+				for _, o := range n.Outputs {
+					if o.Name == name {
+						return n.NameOf(o.Signal)
+					}
+				}
+				return ""
+			}())
+			if !ok {
+				continue
+			}
+			if got[port.Signal] != want[orig] {
+				t.Errorf("trial %d: bonded PO %q = %v, monolith %v",
+					trial, port.Name, got[port.Signal], want[orig])
+			}
+		}
+	}
+}
+
+func TestBondPostBondTestability(t *testing.T) {
+	// Pre-bond, the dies' TSV cones are dark; post-bond the same fault
+	// universe lights up without any wrapper cells.
+	n := monolith(t, 300, 13)
+	res, err := Partition(n, Options{Dies: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bonded, err := Bond("stack", res.Dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preCov, postCov := 0.0, 0.0
+	{
+		die := res.Dies[0]
+		sim := faultsim.New(die)
+		pats := randomPats(sim, 256)
+		camp, err := sim.RunCampaign(pats, faults.CollapsedList(die))
+		if err != nil {
+			t.Fatal(err)
+		}
+		preCov = camp.Coverage()
+	}
+	{
+		sim := faultsim.New(bonded)
+		pats := randomPats(sim, 256)
+		camp, err := sim.RunCampaign(pats, faults.CollapsedList(bonded))
+		if err != nil {
+			t.Fatal(err)
+		}
+		postCov = camp.Coverage()
+	}
+	if postCov <= preCov {
+		t.Errorf("post-bond coverage %.3f must beat unwrapped pre-bond %.3f", postCov, preCov)
+	}
+}
+
+func randomPats(sim *faultsim.Simulator, n int) []faultsim.Pattern {
+	var pats []faultsim.Pattern
+	for i := 0; i < n; i++ {
+		p := faultsim.NewPattern(sim.NumSources())
+		for j := 0; j < sim.NumSources(); j++ {
+			p.Set(j, (i*31+j*7)%5 < 2)
+		}
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+func TestBondPartialStack(t *testing.T) {
+	// Bonding only half the stack leaves the cross-boundary pads
+	// floating but still valid.
+	n := monolith(t, 200, 17)
+	res, err := Partition(n, Options{Dies: 4, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Bond("halfstack", res.Dies[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Some pads must remain (nets from dies 2-3).
+	if len(half.InboundTSVs()) == 0 {
+		t.Error("partial stack should keep floating pads toward the missing dies")
+	}
+}
+
+func TestBondEmptyStack(t *testing.T) {
+	if _, err := Bond("x", nil); err == nil {
+		t.Error("empty stack must fail")
+	}
+}

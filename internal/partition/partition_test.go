@@ -1,0 +1,221 @@
+package partition
+
+import (
+	"testing"
+
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+)
+
+func monolith(t *testing.T, gates int, seed int64) *netlist.Netlist {
+	t.Helper()
+	n, err := netgen.Random(netgen.RandomOptions{Gates: gates, FFs: gates / 12, PIs: 6, POs: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPartitionBasics(t *testing.T) {
+	n := monolith(t, 400, 1)
+	res, err := Partition(n, Options{Dies: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dies) != 4 {
+		t.Fatalf("dies = %d, want 4", len(res.Dies))
+	}
+	// Every gate assigned to a valid die.
+	counts := make([]int, 4)
+	for i, d := range res.DieOf {
+		if d < 0 || d >= 4 {
+			t.Fatalf("gate %d assigned to die %d", i, d)
+		}
+		counts[d]++
+	}
+	// Rough balance: no die under 10% of the total.
+	for d, c := range counts {
+		if c < n.NumGates()/10 {
+			t.Errorf("die %d holds only %d of %d gates", d, c, n.NumGates())
+		}
+	}
+	// Each extracted die validates and has TSVs.
+	totalIn, totalOut := 0, 0
+	for _, die := range res.Dies {
+		if err := die.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		totalIn += len(die.InboundTSVs())
+		totalOut += len(die.OutboundTSVs())
+	}
+	if totalIn == 0 || totalOut == 0 {
+		t.Error("a 4-die partition of connected logic must cut some nets")
+	}
+	if res.CutNets == 0 {
+		t.Error("CutNets must be positive")
+	}
+}
+
+func TestPartitionPreservesGateCount(t *testing.T) {
+	n := monolith(t, 300, 2)
+	res, err := Partition(n, Options{Dies: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logic gates (excluding new pads) must be conserved.
+	total := 0
+	for _, die := range res.Dies {
+		total += die.NumLogicGates()
+	}
+	if total != n.NumLogicGates() {
+		t.Errorf("logic gates: %d after partition, %d before", total, n.NumLogicGates())
+	}
+	// Flip-flops conserved too.
+	ffs := 0
+	for _, die := range res.Dies {
+		ffs += len(die.FlipFlops())
+	}
+	if ffs != len(n.FlipFlops()) {
+		t.Errorf("flip-flops: %d after, %d before", ffs, len(n.FlipFlops()))
+	}
+}
+
+func TestPartitionFunctionalEquivalence(t *testing.T) {
+	// Evaluate the monolith and the stitched dies on the same inputs:
+	// every outbound TSV value on die A must equal the signal's value in
+	// the monolith, and original POs must match.
+	n := monolith(t, 200, 3)
+	res, err := Partition(n, Options{Dies: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := map[netlist.SignalID]bool{}
+	flip := false
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		switch n.TypeOf(id) {
+		case netlist.GateInput, netlist.GateDFF:
+			assign[id] = flip
+			flip = !flip
+		}
+	}
+	want, err := n.Evaluate(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate dies in order 0,1 repeatedly until TSV values settle (a
+	// 2-die cut is acyclic per net but both directions exist, so iterate).
+	vals := make([]map[netlist.SignalID]bool, 2)
+	for d, die := range res.Dies {
+		vals[d] = map[netlist.SignalID]bool{}
+		for i := range die.Gates {
+			id := netlist.SignalID(i)
+			switch die.TypeOf(id) {
+			case netlist.GateInput:
+				orig, ok := n.SignalByName(die.NameOf(id))
+				if !ok {
+					t.Fatalf("replicated input %q not in monolith", die.NameOf(id))
+				}
+				vals[d][id] = assign[orig]
+			case netlist.GateDFF:
+				orig, ok := n.SignalByName(die.NameOf(id))
+				if !ok {
+					t.Fatalf("flip-flop %q not in monolith", die.NameOf(id))
+				}
+				vals[d][id] = assign[orig]
+			case netlist.GateTSVIn:
+				vals[d][id] = false // filled by stitching below
+			}
+		}
+	}
+	for iter := 0; iter < 4; iter++ {
+		for d, die := range res.Dies {
+			got, err := die.Evaluate(vals[d])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Export this die's outbound TSVs into the other die's pads.
+			other := res.Dies[1-d]
+			for _, oi := range die.OutboundTSVs() {
+				port := die.Outputs[oi]
+				padName := "tsv_" + port.Name[len("tsvout_"):]
+				if pad, ok := other.SignalByName(padName); ok {
+					vals[1-d][pad] = got[port.Signal]
+				}
+			}
+		}
+	}
+	// Check: original POs match the monolith.
+	for d, die := range res.Dies {
+		got, err := die.Evaluate(vals[d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, oi := range die.PrimaryOutputs() {
+			port := die.Outputs[oi]
+			orig, ok := n.SignalByName(die.NameOf(port.Signal))
+			if !ok {
+				continue // port signal renamed (pad); skip
+			}
+			if got[port.Signal] != want[orig] {
+				t.Errorf("die %d PO %q = %v, monolith says %v", d, port.Name, got[port.Signal], want[orig])
+			}
+		}
+	}
+}
+
+func TestFMReducesCut(t *testing.T) {
+	n := monolith(t, 500, 5)
+	// Compare the FM result against a random balanced assignment.
+	res, err := Partition(n, Options{Dies: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomCut := 0
+	dieOf := make([]int, n.NumGates())
+	for i := range dieOf {
+		dieOf[i] = i & 1
+	}
+	randomCut = countCutForTest(n, dieOf)
+	if res.CutNets >= randomCut {
+		t.Errorf("FM cut %d not better than random %d", res.CutNets, randomCut)
+	}
+}
+
+func countCutForTest(n *netlist.Netlist, dieOf []int) int {
+	return countCut(n, dieOf)
+}
+
+func TestPartitionRejectsBadOptions(t *testing.T) {
+	n := monolith(t, 100, 7)
+	if _, err := Partition(n, Options{Dies: 3}); err == nil {
+		t.Error("non-power-of-two die count must fail")
+	}
+	tiny, err := netlist.ParseString("tiny", "INPUT(a)\nz = NOT(a)\nOUTPUT(z)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(tiny, Options{Dies: 4}); err == nil {
+		t.Error("partitioning 2 gates into 4 dies must fail")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	n := monolith(t, 300, 9)
+	r1, err := Partition(n, Options{Dies: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Partition(n, Options{Dies: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CutNets != r2.CutNets {
+		t.Error("partition not deterministic")
+	}
+	for i := range r1.DieOf {
+		if r1.DieOf[i] != r2.DieOf[i] {
+			t.Fatalf("assignment differs at gate %d", i)
+		}
+	}
+}

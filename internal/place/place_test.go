@@ -1,0 +1,232 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcm3d/internal/netlist"
+)
+
+func testCircuit(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n, err := netlist.ParseString("pt", `
+INPUT(a)
+INPUT(b)
+TSV_IN(t0)
+TSV_IN(t1)
+n1 = AND(a, t0)
+n2 = OR(n1, b)
+n3 = XOR(n2, t1)
+q = DFF(n3)
+n4 = NAND(q, n1)
+OUTPUT(z) = n4
+TSV_OUT(u0) = n2
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return n
+}
+
+func TestPlaceBasics(t *testing.T) {
+	n := testCircuit(t)
+	p, err := Place(n, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if p.Width <= 0 || p.Height <= 0 {
+		t.Fatalf("die dims %v x %v", p.Width, p.Height)
+	}
+	if len(p.Coords) != n.NumGates() || len(p.OutCoords) != len(n.Outputs) {
+		t.Fatal("coordinate array sizes wrong")
+	}
+	for i, c := range p.Coords {
+		if c.X < 0 || c.X > p.Width || c.Y < 0 || c.Y > p.Height {
+			t.Errorf("gate %d placed off-die at %+v", i, c)
+		}
+	}
+	for i, c := range p.OutCoords {
+		if c.X < 0 || c.X > p.Width || c.Y < 0 || c.Y > p.Height {
+			t.Errorf("port %d placed off-die at %+v", i, c)
+		}
+	}
+}
+
+func TestPlaceEmptyFails(t *testing.T) {
+	if _, err := Place(netlist.New("empty"), Options{}); err == nil {
+		t.Error("placing an empty netlist should fail")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	n := testCircuit(t)
+	p1, err := Place(n, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(n, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Coords {
+		if p1.Coords[i] != p2.Coords[i] {
+			t.Fatalf("placement not deterministic at gate %d: %+v vs %+v", i, p1.Coords[i], p2.Coords[i])
+		}
+	}
+	p3, err := Place(n, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range p1.Coords {
+		if p1.Coords[i] != p3.Coords[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different placements")
+	}
+}
+
+func TestInputsOnWestEdge(t *testing.T) {
+	n := testCircuit(t)
+	p, err := Place(n, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range n.Inputs() {
+		if p.Coords[id].X != 0 {
+			t.Errorf("input %s not on west edge: %+v", n.NameOf(id), p.Coords[id])
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	n := testCircuit(t)
+	p, err := Place(n, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.SignalByName("n1")
+	b, _ := n.SignalByName("n3")
+	if p.Distance(a, b) != p.Distance(b, a) {
+		t.Error("distance not symmetric")
+	}
+	if p.Distance(a, a) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestForceSweepsReduceWireLength(t *testing.T) {
+	// Build a bigger random circuit; refinement should shorten total
+	// wire length versus the raw seed placement.
+	rng := rand.New(rand.NewSource(3))
+	n := netlist.New("big")
+	var pool []netlist.SignalID
+	for i := 0; i < 20; i++ {
+		pool = append(pool, n.MustAddGate(netlist.GateInput, "pi"+string(rune('a'+i))))
+	}
+	for i := 0; i < 400; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		g := n.MustAddGate(netlist.GateNand, nameN(i), a, b)
+		pool = append(pool, g)
+	}
+	if err := n.AddOutput("z", pool[len(pool)-1], netlist.PortPO); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := Place(n, Options{Seed: 9, Sweeps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Place(n, Options{Seed: 9, Sweeps: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.TotalWireLength() >= p0.TotalWireLength() {
+		t.Errorf("refinement did not reduce wirelength: %v -> %v",
+			p0.TotalWireLength(), p8.TotalWireLength())
+	}
+}
+
+func TestDieAreaScalesWithGateCount(t *testing.T) {
+	small := testCircuit(t)
+	pSmall, err := Place(small, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := netlist.New("big2")
+	in := big.MustAddGate(netlist.GateInput, "a")
+	prev := in
+	for i := 0; i < 5000; i++ {
+		prev = big.MustAddGate(netlist.GateNot, nameN(i), prev)
+	}
+	if err := big.AddOutput("z", prev, netlist.PortPO); err != nil {
+		t.Fatal(err)
+	}
+	pBig, err := Place(big, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBig.Width <= pSmall.Width*2 {
+		t.Errorf("5000-gate die (%v µm) should be much wider than 10-gate die (%v µm)",
+			pBig.Width, pSmall.Width)
+	}
+}
+
+func nameN(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "n0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{digits[i%10]}, b...)
+		i /= 10
+	}
+	return "n" + string(b)
+}
+
+func TestTSVPitchDominatesSmallDies(t *testing.T) {
+	// A TSV-heavy die must be sized by its TSV array, not by cell area.
+	n, err := netlist.ParseString("tsvheavy", func() string {
+		s := "INPUT(a)\n"
+		prev := "a"
+		for i := 0; i < 20; i++ {
+			s += "g" + string(rune('0'+i%10)) + string(rune('a'+i/10)) + " = NOT(" + prev + ")\n"
+			prev = "g" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+		}
+		for i := 0; i < 25; i++ {
+			s += "TSV_IN(t" + string(rune('0'+i%10)) + string(rune('a'+i/10)) + ")\n"
+			s += "x" + string(rune('0'+i%10)) + string(rune('a'+i/10)) + " = AND(t" + string(rune('0'+i%10)) + string(rune('a'+i/10)) + ", " + prev + ")\n"
+		}
+		s += "OUTPUT(z) = " + prev + "\n"
+		return s
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(n, Options{Seed: 1, TSVPitchUM: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 TSVs at 40µm pitch: the array needs ceil(sqrt(25))*40 = 200µm.
+	if pl.Width < 200 {
+		t.Errorf("die side %.1f, want >= 200 (TSV array bound)", pl.Width)
+	}
+	// Pads must keep reasonable spacing: minimum pairwise distance above
+	// a fraction of the pitch.
+	tsvs := n.InboundTSVs()
+	minD := 1e18
+	for i := 0; i < len(tsvs); i++ {
+		for j := i + 1; j < len(tsvs); j++ {
+			if d := pl.Distance(tsvs[i], tsvs[j]); d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < 5 {
+		t.Errorf("TSV pads nearly collide: min distance %.2f µm", minD)
+	}
+}

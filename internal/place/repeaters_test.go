@@ -1,0 +1,151 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netlist"
+)
+
+func repTestDie(t *testing.T) (*netlist.Netlist, *Placement) {
+	t.Helper()
+	// Force long nets: inputs on the west edge, outputs far east, with a
+	// coarse TSV pitch blowing the die up.
+	n, err := netlist.ParseString("rep", `
+INPUT(a)
+INPUT(b)
+TSV_IN(t0)
+TSV_IN(t1)
+TSV_IN(t2)
+TSV_IN(t3)
+TSV_IN(t4)
+TSV_IN(t5)
+TSV_IN(t6)
+TSV_IN(t7)
+TSV_IN(t8)
+n1 = AND(a, t0)
+n2 = OR(n1, b)
+n3 = XOR(n2, t8)
+q = DFF(n3)
+n4 = NAND(q, n1)
+OUTPUT(z) = n4
+TSV_OUT(u0) = n2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(n, Options{Seed: 2, TSVPitchUM: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, pl
+}
+
+func TestInsertRepeatersBoundsSegments(t *testing.T) {
+	n, pl := repTestDie(t)
+	lib := cells.Default45nm()
+	before := n.NumGates()
+	if err := InsertRepeaters(n, pl, lib); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumGates() <= before {
+		t.Fatal("a die spanning several segments must need repeaters")
+	}
+	if len(pl.Coords) != n.NumGates() {
+		t.Fatalf("placement has %d coords for %d gates", len(pl.Coords), n.NumGates())
+	}
+	// Post-pass invariant: no pin is farther than one segment from its
+	// driver (ports excluded; they get their own chains).
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		g := n.Gate(id)
+		if g.Type.IsSource() {
+			continue
+		}
+		for _, src := range g.Fanin {
+			if d := pl.Distance(src, id); d > lib.TestBufferDistUM*1.0001 {
+				t.Errorf("pin of %s still %.1f µm from driver %s", n.NameOf(id), d, n.NameOf(src))
+			}
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRepeatersPreservesFunction(t *testing.T) {
+	n, pl := repTestDie(t)
+	// Snapshot behaviour before.
+	assign := map[netlist.SignalID]bool{}
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		switch n.TypeOf(id) {
+		case netlist.GateInput, netlist.GateTSVIn, netlist.GateDFF:
+			assign[id] = i%2 == 0
+		}
+	}
+	wantVals, err := n.Evaluate(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, o := range n.Outputs {
+		want[o.Name] = wantVals[o.Signal]
+	}
+	if err := InsertRepeaters(n, pl, cells.Default45nm()); err != nil {
+		t.Fatal(err)
+	}
+	gotVals, err := n.Evaluate(assign) // sources kept their IDs
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range n.Outputs {
+		if gotVals[o.Signal] != want[o.Name] {
+			t.Errorf("output %q changed by buffering", o.Name)
+		}
+	}
+}
+
+func TestInsertRepeatersNoopOnSmallDie(t *testing.T) {
+	n, err := netlist.ParseString("small", "INPUT(a)\nz = NOT(a)\nOUTPUT(z)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(n, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := n.NumGates()
+	if err := InsertRepeaters(n, pl, cells.Default45nm()); err != nil {
+		t.Fatal(err)
+	}
+	// A 2-gate die is far smaller than a buffer segment: nothing added
+	// except possibly for the input-to-gate run (inputs sit on the
+	// edge). Allow at most one.
+	if n.NumGates() > before+1 {
+		t.Errorf("tiny die gained %d gates", n.NumGates()-before)
+	}
+}
+
+func TestInsertRepeatersNaming(t *testing.T) {
+	n, pl := repTestDie(t)
+	if err := InsertRepeaters(n, pl, cells.Default45nm()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if strings.HasPrefix(g.Name, "fbuf") && g.Type != netlist.GateBuf {
+			t.Errorf("repeater %s has type %s", g.Name, g.Type)
+		}
+	}
+}
+
+func TestInsertRepeatersForeignPlacement(t *testing.T) {
+	n, _ := repTestDie(t)
+	other, pl2 := repTestDie(t)
+	_ = other
+	if err := InsertRepeaters(n, pl2, cells.Default45nm()); err == nil {
+		t.Error("foreign placement must be rejected")
+	}
+}

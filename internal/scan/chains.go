@@ -1,0 +1,170 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+)
+
+// ChainPlan is a scan-chain stitching: every scan cell of the test
+// architecture (functional flip-flops, reused or not, plus the dedicated
+// wrapper cells a plan inserts) assigned to an ordered chain. Chain length
+// determines shift time, so test time scales with the longest chain.
+type ChainPlan struct {
+	// Chains holds cell identifiers in shift order. Functional
+	// flip-flops appear as their SignalID; dedicated wrapper cells are
+	// identified by the virtual IDs returned by WrapperCellIDs.
+	Chains [][]ChainCell
+	// WireUM is the total stitching wire length (placement-routed,
+	// nearest-neighbor order).
+	WireUM float64
+}
+
+// ChainCell is one scan element: a functional flip-flop or a dedicated
+// wrapper cell from a plan.
+type ChainCell struct {
+	// FF is the flip-flop signal, or netlist.InvalidSignal for a
+	// dedicated wrapper cell.
+	FF netlist.SignalID
+	// Wrapper indexes the plan's wrapper cells (control groups first,
+	// then observe groups, counting only non-reused groups); -1 for
+	// functional flip-flops.
+	Wrapper int
+}
+
+// MaxLength returns the longest chain's cell count — the shift depth.
+func (c *ChainPlan) MaxLength() int {
+	max := 0
+	for _, ch := range c.Chains {
+		if len(ch) > max {
+			max = len(ch)
+		}
+	}
+	return max
+}
+
+// NumCells returns the total number of scan cells.
+func (c *ChainPlan) NumCells() int {
+	n := 0
+	for _, ch := range c.Chains {
+		n += len(ch)
+	}
+	return n
+}
+
+// BuildChains stitches the die's scan cells into nChains chains, balanced
+// by count and ordered nearest-neighbor by placement to keep stitching
+// wire short (the standard physical scan-stitching heuristic).
+func BuildChains(n *netlist.Netlist, pl *place.Placement, a *Assignment, nChains int) (*ChainPlan, error) {
+	if nChains < 1 {
+		return nil, fmt.Errorf("scan: need at least one chain, got %d", nChains)
+	}
+	if pl != nil && pl.Netlist != n {
+		return nil, fmt.Errorf("scan: placement belongs to %q, stitching %q", pl.Netlist.Name, n.Name)
+	}
+	type cell struct {
+		c  ChainCell
+		at place.Point
+	}
+	var cells []cell
+	for _, ff := range n.FlipFlops() {
+		at := place.Point{}
+		if pl != nil {
+			at = pl.Coords[ff]
+		}
+		cells = append(cells, cell{ChainCell{FF: ff, Wrapper: -1}, at})
+	}
+	if a != nil {
+		w := 0
+		for _, g := range a.Control {
+			if g.Reused() {
+				continue
+			}
+			at := place.Point{}
+			if pl != nil {
+				at = pl.Coords[g.TSVs[0]]
+			}
+			cells = append(cells, cell{ChainCell{FF: netlist.InvalidSignal, Wrapper: w}, at})
+			w++
+		}
+		for _, g := range a.Observe {
+			if g.Reused() {
+				continue
+			}
+			at := place.Point{}
+			if pl != nil {
+				at = pl.OutCoords[g.Ports[0]]
+			}
+			cells = append(cells, cell{ChainCell{FF: netlist.InvalidSignal, Wrapper: w}, at})
+			w++
+		}
+	}
+	if len(cells) == 0 {
+		return &ChainPlan{Chains: make([][]ChainCell, nChains)}, nil
+	}
+	if nChains > len(cells) {
+		nChains = len(cells)
+	}
+
+	// Assign cells to chains by horizontal bands (keeps each chain
+	// spatially coherent), then order each chain nearest-neighbor.
+	perChain := (len(cells) + nChains - 1) / nChains
+	// Sort by Y then X (simple insertion sort keeps this dependency-free
+	// and the cell counts are modest).
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cells[j-1], cells[j]
+			if a.at.Y < b.at.Y || (a.at.Y == b.at.Y && a.at.X <= b.at.X) {
+				break
+			}
+			cells[j-1], cells[j] = b, a
+		}
+	}
+	plan := &ChainPlan{}
+	for start := 0; start < len(cells); start += perChain {
+		end := start + perChain
+		if end > len(cells) {
+			end = len(cells)
+		}
+		band := append([]cell(nil), cells[start:end]...)
+		// Nearest-neighbor ordering within the band, starting from the
+		// west-most cell.
+		startIdx := 0
+		for i := range band {
+			if band[i].at.X < band[startIdx].at.X {
+				startIdx = i
+			}
+		}
+		band[0], band[startIdx] = band[startIdx], band[0]
+		for i := 1; i < len(band); i++ {
+			bestJ, bestD := i, math.Inf(1)
+			for j := i; j < len(band); j++ {
+				if d := band[i-1].at.ManhattanTo(band[j].at); d < bestD {
+					bestD, bestJ = d, j
+				}
+			}
+			band[i], band[bestJ] = band[bestJ], band[i]
+			plan.WireUM += band[i-1].at.ManhattanTo(band[i].at)
+		}
+		chain := make([]ChainCell, len(band))
+		for i, c := range band {
+			chain[i] = c.c
+		}
+		plan.Chains = append(plan.Chains, chain)
+	}
+	return plan, nil
+}
+
+// TestCycles estimates tester cycles for a pattern set under this chain
+// plan: each pattern shifts in over MaxLength cycles (shift-out of the
+// previous response overlaps shift-in), plus one capture cycle, plus a
+// final shift-out.
+func (c *ChainPlan) TestCycles(patterns int) int {
+	if patterns == 0 {
+		return 0
+	}
+	l := c.MaxLength()
+	return patterns*(l+1) + l
+}

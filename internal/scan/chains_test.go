@@ -1,0 +1,165 @@
+package scan
+
+import (
+	"testing"
+
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+)
+
+func chainDie(t *testing.T) (*netlist.Netlist, *place.Placement, *Assignment) {
+	t.Helper()
+	n := die(t) // from scan_test.go: 10 FFs, 6 inbound, 5 outbound
+	pl, err := place.Place(n, place.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := n.FlipFlops()
+	a := &Assignment{
+		Control: []ControlGroup{
+			{ReusedFF: ffs[0], TSVs: n.InboundTSVs()[:3]},
+			{ReusedFF: netlist.InvalidSignal, TSVs: n.InboundTSVs()[3:]},
+		},
+		Observe: []ObserveGroup{
+			{ReusedFF: ffs[1], Ports: n.OutboundTSVs()[:2]},
+			{ReusedFF: netlist.InvalidSignal, Ports: n.OutboundTSVs()[2:]},
+		},
+	}
+	if err := a.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	return n, pl, a
+}
+
+func TestBuildChainsCoversEveryCell(t *testing.T) {
+	n, pl, a := chainDie(t)
+	plan, err := BuildChains(n, pl, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 FFs + 2 dedicated wrapper cells.
+	if plan.NumCells() != 12 {
+		t.Errorf("cells = %d, want 12", plan.NumCells())
+	}
+	if len(plan.Chains) != 3 {
+		t.Errorf("chains = %d, want 3", len(plan.Chains))
+	}
+	seenFF := map[netlist.SignalID]bool{}
+	seenW := map[int]bool{}
+	for _, ch := range plan.Chains {
+		for _, c := range ch {
+			if c.FF != netlist.InvalidSignal {
+				if seenFF[c.FF] {
+					t.Fatalf("FF %d stitched twice", c.FF)
+				}
+				seenFF[c.FF] = true
+			} else {
+				if seenW[c.Wrapper] {
+					t.Fatalf("wrapper %d stitched twice", c.Wrapper)
+				}
+				seenW[c.Wrapper] = true
+			}
+		}
+	}
+	if len(seenFF) != 10 || len(seenW) != 2 {
+		t.Errorf("stitched %d FFs and %d wrappers, want 10 and 2", len(seenFF), len(seenW))
+	}
+}
+
+func TestBuildChainsBalance(t *testing.T) {
+	n, pl, a := chainDie(t)
+	plan, err := BuildChains(n, pl, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 cells over 4 chains: max 3 per chain.
+	if plan.MaxLength() > 3 {
+		t.Errorf("max chain length %d, want <= 3", plan.MaxLength())
+	}
+}
+
+func TestBuildChainsSingleChain(t *testing.T) {
+	n, pl, a := chainDie(t)
+	plan, err := BuildChains(n, pl, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chains) != 1 || plan.MaxLength() != 12 {
+		t.Errorf("single chain of 12 expected, got %d chains max %d", len(plan.Chains), plan.MaxLength())
+	}
+}
+
+func TestBuildChainsNoPlacement(t *testing.T) {
+	n, _, a := chainDie(t)
+	plan, err := BuildChains(n, nil, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumCells() != 12 {
+		t.Errorf("cells = %d, want 12", plan.NumCells())
+	}
+}
+
+func TestBuildChainsMoreChainsThanCells(t *testing.T) {
+	n, pl, a := chainDie(t)
+	plan, err := BuildChains(n, pl, a, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumCells() != 12 {
+		t.Errorf("cells = %d", plan.NumCells())
+	}
+	for _, ch := range plan.Chains {
+		if len(ch) == 0 {
+			t.Error("empty chain emitted")
+		}
+	}
+}
+
+func TestBuildChainsRejectsBadArgs(t *testing.T) {
+	n, pl, a := chainDie(t)
+	if _, err := BuildChains(n, pl, a, 0); err == nil {
+		t.Error("zero chains must fail")
+	}
+	other := die(t)
+	otherPl, err := place.Place(other, place.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildChains(n, otherPl, a, 2); err == nil {
+		t.Error("foreign placement must fail")
+	}
+}
+
+func TestNearestNeighborShorterThanArbitrary(t *testing.T) {
+	n, pl, a := chainDie(t)
+	plan, err := BuildChains(n, pl, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper bound: visiting cells in raw FF order.
+	var raw float64
+	var pts []place.Point
+	for _, ff := range n.FlipFlops() {
+		pts = append(pts, pl.Coords[ff])
+	}
+	pts = append(pts, pl.Coords[n.InboundTSVs()[3]])
+	pts = append(pts, pl.OutCoords[n.OutboundTSVs()[2]])
+	for i := 1; i < len(pts); i++ {
+		raw += pts[i-1].ManhattanTo(pts[i])
+	}
+	if plan.WireUM > raw*1.05 {
+		t.Errorf("stitched wire %.1f worse than naive order %.1f", plan.WireUM, raw)
+	}
+}
+
+func TestTestCycles(t *testing.T) {
+	plan := &ChainPlan{Chains: [][]ChainCell{make([]ChainCell, 20), make([]ChainCell, 15)}}
+	if got := plan.TestCycles(0); got != 0 {
+		t.Errorf("0 patterns -> %d cycles", got)
+	}
+	// 100 patterns, depth 20: 100*(21) + 20.
+	if got := plan.TestCycles(100); got != 100*21+20 {
+		t.Errorf("cycles = %d", got)
+	}
+}

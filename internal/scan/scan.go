@@ -1,0 +1,429 @@
+// Package scan is the DFT editor: it takes a wrapper plan (which scan
+// flip-flops are reused for which TSVs, and where additional wrapper cells
+// go — the output of the WCM solver in internal/wcm) and materializes it as
+// netlist edits, in two views:
+//
+//   - the test-mode view (ApplyTestMode): the circuit as the pre-bond
+//     tester sees it — reused flip-flops drive inbound TSV pads, outbound
+//     TSV signals are folded into capture flip-flops through XOR trees.
+//     This is the netlist ATPG and fault simulation grade.
+//
+//   - the functional-mode view (ApplyFunctionalMode): the circuit with the
+//     physical test hardware (test multiplexers, observation XORs) present
+//     on the functional paths, plus placement coordinates for the new
+//     cells. This is the netlist static timing analysis checks for
+//     violations — the paper's Table III experiment.
+package scan
+
+import (
+	"fmt"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+)
+
+// TestEnableName is the port name ApplyFunctionalMode gives the shared
+// test-enable input; signoff ties it low (case analysis).
+const TestEnableName = "test_en"
+
+// ControlGroup is one clique on the inbound side: a set of inbound TSV pads
+// sharing a single test-mode control point.
+type ControlGroup struct {
+	// ReusedFF is the scan flip-flop acting as the control point, or
+	// netlist.InvalidSignal when a dedicated wrapper cell is inserted.
+	ReusedFF netlist.SignalID
+	// TSVs are the inbound TSV pads (GateTSVIn signals) driven by the
+	// control point during test.
+	TSVs []netlist.SignalID
+}
+
+// Reused reports whether the group reuses a scan flip-flop.
+func (g ControlGroup) Reused() bool { return g.ReusedFF != netlist.InvalidSignal }
+
+// ObserveGroup is one clique on the outbound side: a set of outbound TSV
+// ports sharing a single capture point.
+type ObserveGroup struct {
+	// ReusedFF is the scan flip-flop acting as the capture point, or
+	// netlist.InvalidSignal when a dedicated wrapper cell is inserted.
+	ReusedFF netlist.SignalID
+	// Ports are indices into Netlist.Outputs (class PortTSVOut) observed
+	// by the capture point.
+	Ports []int
+}
+
+// Reused reports whether the group reuses a scan flip-flop.
+func (g ObserveGroup) Reused() bool { return g.ReusedFF != netlist.InvalidSignal }
+
+// Assignment is the complete wrapper plan for one die.
+type Assignment struct {
+	Control []ControlGroup
+	Observe []ObserveGroup
+	// BufferedRouting requests repeaters on long test-distribution wires
+	// when the plan is materialized in functional mode: the load any
+	// control point or tapped signal sees is then bounded to one buffer
+	// segment. Wire-aware planners set this (they know where the long
+	// runs are); the capacitance-only baseline does not — it cannot see
+	// the wires it would need to buffer.
+	BufferedRouting bool
+}
+
+// ReusedFFs counts distinct flip-flops reused by the plan.
+func (a *Assignment) ReusedFFs() int {
+	seen := map[netlist.SignalID]struct{}{}
+	for _, g := range a.Control {
+		if g.Reused() {
+			seen[g.ReusedFF] = struct{}{}
+		}
+	}
+	for _, g := range a.Observe {
+		if g.Reused() {
+			seen[g.ReusedFF] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// AdditionalCells counts dedicated wrapper cells the plan inserts.
+func (a *Assignment) AdditionalCells() int {
+	n := 0
+	for _, g := range a.Control {
+		if !g.Reused() {
+			n++
+		}
+	}
+	for _, g := range a.Observe {
+		if !g.Reused() {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the plan against a die: every group non-empty, every
+// member a real TSV of the right direction, every TSV covered exactly once,
+// and no flip-flop used by two groups.
+func (a *Assignment) Validate(n *netlist.Netlist) error {
+	ffUsed := map[string]string{}
+	tsvSeen := map[netlist.SignalID]struct{}{}
+	for i, g := range a.Control {
+		if len(g.TSVs) == 0 {
+			return fmt.Errorf("scan: control group %d is empty", i)
+		}
+		if g.Reused() {
+			if n.TypeOf(g.ReusedFF) != netlist.GateDFF {
+				return fmt.Errorf("scan: control group %d reuses non-FF %q", i, n.NameOf(g.ReusedFF))
+			}
+			if prev, dup := ffUsed[n.NameOf(g.ReusedFF)]; dup {
+				return fmt.Errorf("scan: FF %q used by %s and control group %d", n.NameOf(g.ReusedFF), prev, i)
+			}
+			ffUsed[n.NameOf(g.ReusedFF)] = fmt.Sprintf("control group %d", i)
+		}
+		for _, t := range g.TSVs {
+			if n.TypeOf(t) != netlist.GateTSVIn {
+				return fmt.Errorf("scan: control group %d contains non-TSV %q", i, n.NameOf(t))
+			}
+			if _, dup := tsvSeen[t]; dup {
+				return fmt.Errorf("scan: inbound TSV %q in two groups", n.NameOf(t))
+			}
+			tsvSeen[t] = struct{}{}
+		}
+	}
+	portSeen := map[int]struct{}{}
+	for i, g := range a.Observe {
+		if len(g.Ports) == 0 {
+			return fmt.Errorf("scan: observe group %d is empty", i)
+		}
+		if g.Reused() {
+			if n.TypeOf(g.ReusedFF) != netlist.GateDFF {
+				return fmt.Errorf("scan: observe group %d reuses non-FF %q", i, n.NameOf(g.ReusedFF))
+			}
+			if prev, dup := ffUsed[n.NameOf(g.ReusedFF)]; dup {
+				return fmt.Errorf("scan: FF %q used by %s and observe group %d", n.NameOf(g.ReusedFF), prev, i)
+			}
+			ffUsed[n.NameOf(g.ReusedFF)] = fmt.Sprintf("observe group %d", i)
+		}
+		for _, pIdx := range g.Ports {
+			if pIdx < 0 || pIdx >= len(n.Outputs) || n.Outputs[pIdx].Class != netlist.PortTSVOut {
+				return fmt.Errorf("scan: observe group %d references invalid TSV_OUT port %d", i, pIdx)
+			}
+			if _, dup := portSeen[pIdx]; dup {
+				return fmt.Errorf("scan: outbound TSV port %d in two groups", pIdx)
+			}
+			portSeen[pIdx] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Covered reports whether the plan wraps every TSV of the die (full
+// pre-bond testability).
+func (a *Assignment) Covered(n *netlist.Netlist) bool {
+	nIn, nOut := 0, 0
+	for _, g := range a.Control {
+		nIn += len(g.TSVs)
+	}
+	for _, g := range a.Observe {
+		nOut += len(g.Ports)
+	}
+	return nIn == len(n.InboundTSVs()) && nOut == len(n.OutboundTSVs())
+}
+
+// FullWrap returns the trivial plan: one dedicated wrapper cell per TSV —
+// the pre-reuse baseline whose area cost motivates the whole paper.
+func FullWrap(n *netlist.Netlist) *Assignment {
+	// The reference design is built the way a physical flow would build
+	// it: long runs from drivers to pad-side observation cells carry
+	// repeaters.
+	a := &Assignment{BufferedRouting: true}
+	for _, t := range n.InboundTSVs() {
+		a.Control = append(a.Control, ControlGroup{ReusedFF: netlist.InvalidSignal, TSVs: []netlist.SignalID{t}})
+	}
+	for _, p := range n.OutboundTSVs() {
+		a.Observe = append(a.Observe, ObserveGroup{ReusedFF: netlist.InvalidSignal, Ports: []int{p}})
+	}
+	return a
+}
+
+// ApplyTestMode builds the pre-bond test view of the die under the plan.
+// The original netlist is not modified.
+func ApplyTestMode(n *netlist.Netlist, a *Assignment) (*netlist.Netlist, error) {
+	if err := a.Validate(n); err != nil {
+		return nil, err
+	}
+	tn := n.Clone()
+	tn.Name = n.Name + "_test"
+	for i, g := range a.Control {
+		var src netlist.SignalID
+		if g.Reused() {
+			src = g.ReusedFF
+		} else {
+			// A dedicated wrapper cell is scan-controllable: model its
+			// test-mode output as a fresh controllable source.
+			var err error
+			src, err = tn.AddGate(netlist.GateInput, fmt.Sprintf("wcc%d", i))
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, t := range g.TSVs {
+			// The pad stops floating: in test mode it repeats the
+			// control point.
+			gate := tn.Gate(t)
+			gate.Type = netlist.GateBuf
+			gate.Fanin = []netlist.SignalID{src}
+		}
+	}
+	for i, g := range a.Observe {
+		// Fold every member signal into the capture point through an
+		// XOR tree (one signal: direct).
+		var folded netlist.SignalID = netlist.InvalidSignal
+		for j, pIdx := range g.Ports {
+			sig := tn.Outputs[pIdx].Signal
+			if folded == netlist.InvalidSignal {
+				folded = sig
+				continue
+			}
+			x, err := tn.AddGate(netlist.GateXor, fmt.Sprintf("wobx%d_%d", i, j), folded, sig)
+			if err != nil {
+				return nil, err
+			}
+			folded = x
+		}
+		if g.Reused() {
+			ff := tn.Gate(g.ReusedFF)
+			x, err := tn.AddGate(netlist.GateXor, fmt.Sprintf("wobm%d", i), ff.Fanin[0], folded)
+			if err != nil {
+				return nil, err
+			}
+			ff.Fanin[0] = x
+		} else {
+			// Dedicated observation cell: a fresh scan flip-flop
+			// capturing the folded value.
+			if _, err := tn.AddGate(netlist.GateDFF, fmt.Sprintf("wco%d", i), folded); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := tn.Validate(); err != nil {
+		return nil, fmt.Errorf("scan: test-mode netlist invalid: %w", err)
+	}
+	return tn, nil
+}
+
+// ApplyFunctionalMode builds the functional view with the test hardware in
+// place, and extends the placement with coordinates for the new cells:
+// control muxes sit at their TSV pads, observation XOR/muxes sit at their
+// capture flip-flop, and dedicated wrapper cells sit at their TSV.
+// The returned placement belongs to the returned netlist.
+func ApplyFunctionalMode(n *netlist.Netlist, pl *place.Placement, lib *cells.Library, a *Assignment) (*netlist.Netlist, *place.Placement, error) {
+	if err := a.Validate(n); err != nil {
+		return nil, nil, err
+	}
+	if pl.Netlist != n {
+		return nil, nil, fmt.Errorf("scan: placement belongs to %q, plan applies to %q", pl.Netlist.Name, n.Name)
+	}
+	fn := n.Clone()
+	fn.Name = n.Name + "_func"
+	coords := append([]place.Point(nil), pl.Coords...)
+	outCoords := append([]place.Point(nil), pl.OutCoords...)
+	addGate := func(typ netlist.GateType, name string, at place.Point, fanin ...netlist.SignalID) (netlist.SignalID, error) {
+		id, err := fn.AddGate(typ, name, fanin...)
+		if err != nil {
+			return netlist.InvalidSignal, err
+		}
+		coords = append(coords, at)
+		return id, nil
+	}
+
+	// One shared test-enable pad (tied off in functional mode, but its
+	// mux load and delay are physically present).
+	testEn, err := addGate(netlist.GateInput, TestEnableName, place.Point{X: 0, Y: 0})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// bufRoute carries a signal from its cell to a destination point,
+	// inserting repeaters every TestBufferDistUM when the plan requested
+	// buffered routing. Returns the signal to connect at the far end.
+	bufSeq := 0
+	bufRoute := func(src netlist.SignalID, to place.Point) (netlist.SignalID, error) {
+		if !a.BufferedRouting || lib == nil || lib.TestBufferDistUM <= 0 {
+			return src, nil
+		}
+		from := coords[src]
+		dist := from.ManhattanTo(to)
+		hops := int(dist / lib.TestBufferDistUM)
+		for h := 1; h <= hops; h++ {
+			frac := float64(h) / float64(hops+1)
+			at := place.Point{
+				X: from.X + (to.X-from.X)*frac,
+				Y: from.Y + (to.Y-from.Y)*frac,
+			}
+			b, err := addGate(netlist.GateBuf, fmt.Sprintf("tbuf%d", bufSeq), at, src)
+			if err != nil {
+				return netlist.InvalidSignal, err
+			}
+			bufSeq++
+			src = b
+		}
+		return src, nil
+	}
+
+	fanouts := n.Fanouts()
+	for i, g := range a.Control {
+		var src netlist.SignalID
+		if g.Reused() {
+			src = g.ReusedFF
+		} else {
+			// Dedicated wrapper cell at the first member pad.
+			src, err = addGate(netlist.GateDFF, fmt.Sprintf("wcc%d", i), coords[g.TSVs[0]], g.TSVs[0])
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, t := range g.TSVs {
+			// MUX at the pad: functional path TSV→logic picks up one mux
+			// stage; the control point picks up the mux pin plus the
+			// wire out to the pad (repeatered under buffered routing).
+			routed, err := bufRoute(src, coords[t])
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := addGate(netlist.GateMux2, fmt.Sprintf("wcm%d_%s", i, fn.NameOf(t)), coords[t], testEn, t, routed)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, fo := range fanouts[t] {
+				fg := fn.Gate(fo)
+				for pin, f := range fg.Fanin {
+					if f == t {
+						fg.Fanin[pin] = m
+					}
+				}
+			}
+			for oi := range fn.Outputs {
+				if fn.Outputs[oi].Signal == t {
+					fn.Outputs[oi].Signal = m
+				}
+			}
+		}
+	}
+	for i, g := range a.Observe {
+		if g.Reused() {
+			ffAt := coords[g.ReusedFF]
+			var folded netlist.SignalID = netlist.InvalidSignal
+			for j, pIdx := range g.Ports {
+				sig, err := bufRoute(fn.Outputs[pIdx].Signal, ffAt)
+				if err != nil {
+					return nil, nil, err
+				}
+				if folded == netlist.InvalidSignal {
+					folded = sig
+					continue
+				}
+				x, err := addGate(netlist.GateXor, fmt.Sprintf("wobx%d_%d", i, j), ffAt, folded, sig)
+				if err != nil {
+					return nil, nil, err
+				}
+				folded = x
+			}
+			ff := fn.Gate(g.ReusedFF)
+			origD := ff.Fanin[0]
+			x, err := addGate(netlist.GateXor, fmt.Sprintf("wobf%d", i), ffAt, origD, folded)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := addGate(netlist.GateMux2, fmt.Sprintf("wobm%d", i), ffAt, testEn, origD, x)
+			if err != nil {
+				return nil, nil, err
+			}
+			ff.Fanin[0] = m
+		} else {
+			// Dedicated observation cell at the first member pad; taps
+			// add load on the observed signals. Like a reused flip-flop,
+			// the cell captures through a test-enable mux — functional
+			// signoff ties test_en low, so the fold chain is a test-mode
+			// path, not a functional one.
+			at := outCoords[g.Ports[0]]
+			var folded netlist.SignalID = netlist.InvalidSignal
+			for j, pIdx := range g.Ports {
+				sig, err := bufRoute(fn.Outputs[pIdx].Signal, at)
+				if err != nil {
+					return nil, nil, err
+				}
+				if folded == netlist.InvalidSignal {
+					folded = sig
+					continue
+				}
+				x, err := addGate(netlist.GateXor, fmt.Sprintf("wobx%d_%d", i, j), at, folded, sig)
+				if err != nil {
+					return nil, nil, err
+				}
+				folded = x
+			}
+			hold, err := addGate(netlist.GateConst0, fmt.Sprintf("wcoz%d", i), at)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := addGate(netlist.GateMux2, fmt.Sprintf("wcom%d", i), at, testEn, hold, folded)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := addGate(netlist.GateDFF, fmt.Sprintf("wco%d", i), at, m); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := fn.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("scan: functional-mode netlist invalid: %w", err)
+	}
+	npl := &place.Placement{
+		Netlist:   fn,
+		Width:     pl.Width,
+		Height:    pl.Height,
+		Coords:    coords,
+		OutCoords: outCoords,
+	}
+	return fn, npl, nil
+}

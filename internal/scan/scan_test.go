@@ -1,0 +1,376 @@
+package scan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/faults"
+	"wcm3d/internal/faultsim"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+	"wcm3d/internal/sta"
+)
+
+func die(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: 200, FFs: 10, PIs: 5, POs: 3, InboundTSVs: 6, OutboundTSVs: 5, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFullWrapCoversEverything(t *testing.T) {
+	n := die(t)
+	a := FullWrap(n)
+	if err := a.Validate(n); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !a.Covered(n) {
+		t.Error("FullWrap must cover every TSV")
+	}
+	if a.ReusedFFs() != 0 {
+		t.Error("FullWrap reuses no flip-flops")
+	}
+	if a.AdditionalCells() != 11 {
+		t.Errorf("AdditionalCells = %d, want 11 (6 inbound + 5 outbound)", a.AdditionalCells())
+	}
+}
+
+func TestAssignmentCounters(t *testing.T) {
+	n := die(t)
+	ffs := n.FlipFlops()
+	in := n.InboundTSVs()
+	out := n.OutboundTSVs()
+	a := &Assignment{
+		Control: []ControlGroup{
+			{ReusedFF: ffs[0], TSVs: in[:2]},
+			{ReusedFF: netlist.InvalidSignal, TSVs: in[2:]},
+		},
+		Observe: []ObserveGroup{
+			{ReusedFF: ffs[1], Ports: out[:1]},
+			{ReusedFF: netlist.InvalidSignal, Ports: out[1:]},
+		},
+	}
+	if err := a.Validate(n); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.ReusedFFs() != 2 || a.AdditionalCells() != 2 {
+		t.Errorf("counters = (%d reused, %d additional), want (2, 2)", a.ReusedFFs(), a.AdditionalCells())
+	}
+	if !a.Covered(n) {
+		t.Error("plan covers all TSVs")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	n := die(t)
+	ffs := n.FlipFlops()
+	in := n.InboundTSVs()
+	out := n.OutboundTSVs()
+	cases := []struct {
+		name string
+		a    *Assignment
+		want string
+	}{
+		{"empty-group", &Assignment{Control: []ControlGroup{{ReusedFF: ffs[0]}}}, "empty"},
+		{"non-ff", &Assignment{Control: []ControlGroup{{ReusedFF: in[0], TSVs: in[:1]}}}, "non-FF"},
+		{"non-tsv", &Assignment{Control: []ControlGroup{{ReusedFF: ffs[0], TSVs: []netlist.SignalID{ffs[1]}}}}, "non-TSV"},
+		{"dup-tsv", &Assignment{Control: []ControlGroup{
+			{ReusedFF: ffs[0], TSVs: in[:1]},
+			{ReusedFF: netlist.InvalidSignal, TSVs: in[:1]},
+		}}, "two groups"},
+		{"dup-ff", &Assignment{
+			Control: []ControlGroup{{ReusedFF: ffs[0], TSVs: in[:1]}},
+			Observe: []ObserveGroup{{ReusedFF: ffs[0], Ports: out[:1]}},
+		}, "used by"},
+		{"bad-port", &Assignment{Observe: []ObserveGroup{{ReusedFF: ffs[0], Ports: []int{9999}}}}, "invalid"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.a.Validate(n)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestApplyTestModeMakesTSVsTestable(t *testing.T) {
+	n := die(t)
+	base := faultsim.New(n)
+	// Unwrapped: the TSV pads are X sources and the TSV_OUT cones are
+	// unobservable.
+	for _, tsv := range n.InboundTSVs() {
+		if _, ok := base.SourceIndex(tsv); ok {
+			t.Fatal("unwrapped pad must not be controllable")
+		}
+	}
+
+	tn, err := ApplyTestMode(n, FullWrap(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := faultsim.New(tn)
+	// All pads now repeat controllable sources.
+	for _, tsv := range n.InboundTSVs() {
+		g := tn.Gate(tsv)
+		if g.Type != netlist.GateBuf {
+			t.Errorf("pad %s not rewired (type %s)", tn.NameOf(tsv), g.Type)
+		}
+		if _, ok := sim.SourceIndex(g.Fanin[0]); !ok {
+			t.Errorf("pad %s driven by non-source", tn.NameOf(tsv))
+		}
+	}
+	// Every outbound TSV signal is now in some capture cone: its driver
+	// must be observed (directly or via an XOR path to a D pin). Check
+	// coverage improves.
+	list := faults.CollapsedList(n) // functional universe, same gate indices
+	simN := faultsim.New(n)
+	campBefore, err := simN.RunCampaign(randPats(simN, 128), list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campAfter, err := sim.RunCampaign(randPats(sim, 128), list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campAfter.Coverage() <= campBefore.Coverage() {
+		t.Errorf("wrapping must raise coverage: %.4f -> %.4f",
+			campBefore.Coverage(), campAfter.Coverage())
+	}
+}
+
+func randPats(s *faultsim.Simulator, n int) []faultsim.Pattern {
+	var pats []faultsim.Pattern
+	rng := testRand()
+	for i := 0; i < n; i++ {
+		pats = append(pats, s.RandomPattern(rng))
+	}
+	return pats
+}
+
+func TestApplyTestModeSharedControl(t *testing.T) {
+	n := die(t)
+	ffs := n.FlipFlops()
+	in := n.InboundTSVs()
+	a := &Assignment{
+		Control: []ControlGroup{{ReusedFF: ffs[0], TSVs: in}},
+		Observe: []ObserveGroup{{ReusedFF: netlist.InvalidSignal, Ports: n.OutboundTSVs()}},
+	}
+	tn, err := ApplyTestMode(n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pads driven by the same FF.
+	for _, tsv := range in {
+		if tn.Gate(tsv).Fanin[0] != ffs[0] {
+			t.Errorf("pad %s not driven by the shared FF", tn.NameOf(tsv))
+		}
+	}
+	// Shared observation: one new DFF capturing an XOR tree.
+	newFFs := tn.FlipFlops()
+	if len(newFFs) != len(ffs)+1 {
+		t.Errorf("flip-flops %d, want %d (one observation cell)", len(newFFs), len(ffs)+1)
+	}
+}
+
+func TestApplyTestModeReusedObserver(t *testing.T) {
+	n := die(t)
+	ffs := n.FlipFlops()
+	out := n.OutboundTSVs()
+	a := &Assignment{
+		Control: []ControlGroup{{ReusedFF: netlist.InvalidSignal, TSVs: n.InboundTSVs()}},
+		Observe: []ObserveGroup{{ReusedFF: ffs[2], Ports: out[:2]}, {ReusedFF: netlist.InvalidSignal, Ports: out[2:]}},
+	}
+	origD := n.Gate(ffs[2]).Fanin[0]
+	tn, err := ApplyTestMode(n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reused FF's D must now be an XOR folding the original D.
+	d := tn.Gate(ffs[2]).Fanin[0]
+	if tn.TypeOf(d) != netlist.GateXor {
+		t.Fatalf("reused observer D is %s, want XOR", tn.TypeOf(d))
+	}
+	if tn.Gate(d).Fanin[0] != origD {
+		t.Error("XOR must fold the original D function")
+	}
+	// Original netlist untouched.
+	if n.Gate(ffs[2]).Fanin[0] != origD {
+		t.Error("ApplyTestMode mutated the input netlist")
+	}
+}
+
+func TestApplyFunctionalModeTiming(t *testing.T) {
+	n := die(t)
+	lib := cells.Default45nm()
+	pl, err := place.Place(n, place.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FullWrap(n)
+	fn, fpl, err := ApplyFunctionalMode(n, pl, lib, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpl.Netlist != fn {
+		t.Fatal("returned placement must belong to the functional netlist")
+	}
+	if len(fpl.Coords) != fn.NumGates() {
+		t.Fatalf("coords %d for %d gates", len(fpl.Coords), fn.NumGates())
+	}
+	// The functional view carries extra gates (muxes, cells).
+	if fn.NumGates() <= n.NumGates() {
+		t.Error("functional view must contain the test hardware")
+	}
+	// Timing analysis runs and the critical path grows vs the bare die.
+	rBare, err := sta.Analyze(n, lib, sta.Config{ClockPS: 1e6, Placement: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFunc, err := sta.Analyze(fn, lib, sta.Config{ClockPS: 1e6, Placement: fpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFunc.CriticalPathPS() <= rBare.CriticalPathPS() {
+		t.Errorf("test hardware must lengthen the critical path: %v <= %v",
+			rFunc.CriticalPathPS(), rBare.CriticalPathPS())
+	}
+}
+
+func TestFunctionalModeDistantFFHurtsTiming(t *testing.T) {
+	// Reusing a flip-flop far from the TSV must add more delay than a
+	// dedicated cell at the pad — the physical fact behind the paper's
+	// wire-aware timing model.
+	n := die(t)
+	lib := cells.Default45nm()
+	pl, err := place.Place(n, place.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := n.InboundTSVs()
+	// Find the FF farthest from pad in[0].
+	var farFF netlist.SignalID = netlist.InvalidSignal
+	worst := -1.0
+	for _, ff := range n.FlipFlops() {
+		if d := pl.Distance(ff, in[0]); d > worst {
+			worst, farFF = d, ff
+		}
+	}
+	rest := ControlGroup{ReusedFF: netlist.InvalidSignal, TSVs: in[1:]}
+	obs := ObserveGroup{ReusedFF: netlist.InvalidSignal, Ports: n.OutboundTSVs()}
+
+	aFar := &Assignment{Control: []ControlGroup{{ReusedFF: farFF, TSVs: in[:1]}, rest}, Observe: []ObserveGroup{obs}}
+	aDed := &Assignment{Control: []ControlGroup{{ReusedFF: netlist.InvalidSignal, TSVs: in[:1]}, rest}, Observe: []ObserveGroup{obs}}
+
+	ffDelay := func(a *Assignment) float64 {
+		fn, fpl, err := ApplyFunctionalMode(n, pl, lib, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sta.Analyze(fn, lib, sta.Config{ClockPS: 1e6, Placement: fpl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.DelayPS[farFF]
+	}
+	if dFar, dDed := ffDelay(aFar), ffDelay(aDed); dFar <= dDed {
+		t.Errorf("driving a mux %v µm away must slow the flip-flop: reuse %v ps <= dedicated %v ps",
+			worst, dFar, dDed)
+	}
+}
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestApplyTestModePreservesFaultUniverseIndices(t *testing.T) {
+	// The clone-based edit must keep original SignalIDs stable: every
+	// original gate keeps its name and type at the same index, so fault
+	// lists built on the functional netlist stay valid on the test view.
+	n := die(t)
+	tn, err := ApplyTestMode(n, FullWrap(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		if n.NameOf(id) != tn.NameOf(id) {
+			t.Fatalf("signal %d renamed: %q -> %q", i, n.NameOf(id), tn.NameOf(id))
+		}
+		// Types may change only at TSV pads (rewired to BUF).
+		if n.TypeOf(id) != tn.TypeOf(id) && n.TypeOf(id) != netlist.GateTSVIn {
+			t.Fatalf("signal %q changed type %s -> %s", n.NameOf(id), n.TypeOf(id), tn.TypeOf(id))
+		}
+	}
+}
+
+func TestFunctionalModeKeepsFunctionUnderTieLow(t *testing.T) {
+	// With test_en=0 the functional view must compute the same outputs
+	// as the raw die for any input vector.
+	n := die(t)
+	lib := cells.Default45nm()
+	pl, err := place.Place(n, place.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := ApplyFunctionalMode(n, pl, lib, FullWrap(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, ok := fn.SignalByName(TestEnableName)
+	if !ok {
+		t.Fatal("no test_en")
+	}
+	for trial := 0; trial < 4; trial++ {
+		assign := map[netlist.SignalID]bool{}
+		for i := range n.Gates {
+			id := netlist.SignalID(i)
+			switch n.TypeOf(id) {
+			case netlist.GateInput, netlist.GateTSVIn, netlist.GateDFF:
+				assign[id] = (i+trial)%2 == 0
+			}
+		}
+		want, err := n.Evaluate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fAssign := map[netlist.SignalID]bool{te: false}
+		for i := range fn.Gates {
+			id := netlist.SignalID(i)
+			switch fn.TypeOf(id) {
+			case netlist.GateInput, netlist.GateTSVIn, netlist.GateDFF:
+				if int(id) < n.NumGates() {
+					fAssign[id] = assign[id]
+				} else if _, seen := fAssign[id]; !seen {
+					fAssign[id] = false // added test cells: don't care
+				}
+			}
+		}
+		got, err := fn.Evaluate(fAssign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range n.Outputs {
+			if o.Class != netlist.PortPO {
+				continue
+			}
+			// Find the same-named port in the functional view.
+			for _, fo := range fn.Outputs {
+				if fo.Name == o.Name {
+					if got[fo.Signal] != want[o.Signal] {
+						t.Fatalf("trial %d output %q: functional %v != raw %v",
+							trial, o.Name, got[fo.Signal], want[o.Signal])
+					}
+				}
+			}
+		}
+	}
+}

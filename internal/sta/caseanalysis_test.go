@@ -1,0 +1,86 @@
+package sta
+
+import (
+	"testing"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netlist"
+)
+
+// TestTieLowMuxCaseAnalysis verifies the signoff semantics the wrapper
+// flow relies on: a MUX whose select is tied low is timed through its
+// first data pin only, while the de-selected branch still loads its
+// driver.
+func TestTieLowMuxCaseAnalysis(t *testing.T) {
+	n, err := netlist.ParseString("case", `
+INPUT(test_en)
+INPUT(a)
+slow1 = XOR(a, a)
+slow2 = XOR(slow1, a)
+slow3 = XOR(slow2, a)
+fast = BUF(a)
+m = MUX(test_en, fast, slow3)
+q = DFF(m)
+OUTPUT(z) = q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default45nm()
+	id := func(s string) netlist.SignalID { i, _ := n.SignalByName(s); return i }
+
+	full, err := Analyze(n, lib, Config{ClockPS: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tied, err := Analyze(n, lib, Config{ClockPS: 5000, TieLow: []netlist.SignalID{id("test_en")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untied: the mux arrival follows the slow XOR chain. Tied: only the
+	// fast buffer path counts.
+	if full.ArrivalPS[id("m")] <= tied.ArrivalPS[id("m")] {
+		t.Errorf("case analysis must cut the mux arrival: full %.1f, tied %.1f",
+			full.ArrivalPS[id("m")], tied.ArrivalPS[id("m")])
+	}
+	// The slow chain must carry no required time under the tie (no timed
+	// endpoint downstream of it).
+	if !isInfPos(tied.RequiredPS[id("slow3")]) {
+		t.Errorf("de-selected branch must be untimed, required = %.1f", tied.RequiredPS[id("slow3")])
+	}
+	if isInfPos(full.RequiredPS[id("slow3")]) {
+		t.Error("without the tie the branch must be timed")
+	}
+	// Loads are physical: identical in both analyses.
+	for i := range full.LoadFF {
+		if full.LoadFF[i] != tied.LoadFF[i] {
+			t.Fatalf("case analysis changed the load of signal %d", i)
+		}
+	}
+}
+
+func isInfPos(v float64) bool { return v > 1e300 }
+
+// TestTieLowOnlyAffectsMuxSelects confirms the tie is scoped: the same
+// signal feeding a non-MUX gate times normally.
+func TestTieLowOnlyAffectsMuxSelects(t *testing.T) {
+	n, err := netlist.ParseString("scope", `
+INPUT(en)
+INPUT(a)
+g = AND(en, a)
+OUTPUT(z) = g
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default45nm()
+	id := func(s string) netlist.SignalID { i, _ := n.SignalByName(s); return i }
+	tied, err := Analyze(n, lib, Config{ClockPS: 5000, TieLow: []netlist.SignalID{id("en")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isInfPos(tied.RequiredPS[id("en")]) {
+		t.Error("a tied signal feeding an AND must still be timed")
+	}
+}

@@ -1,0 +1,390 @@
+// Package sta implements static timing analysis over a placed gate-level
+// netlist — the reproduction's stand-in for PrimeTime. It computes, for
+// every signal, the quantities the wrapper-cell flow consumes:
+//
+//   - capacitive load (gate pins + wire + TSV pads), the paper's
+//     capacity_load(n) for inbound TSVs and the cap side of the merge test
+//     in Algorithm 2;
+//   - arrival time, required time and slack under a clock-period
+//     constraint, the paper's slack(n) for outbound TSVs;
+//   - worst negative slack and the endpoint violation list used to judge
+//     "timing violation" in Table III.
+//
+// The delay model is a linear (first-order Elmore) model: a gate's delay is
+// intrinsic + Rdrive·Cload where Cload includes fanout pin capacitance and
+// routed wire capacitance from the placement; each wire adds a distributed
+// RC term on top. When no placement is supplied the wire terms vanish and
+// the model degrades to exactly the capacitance-only model the paper
+// attributes to Agrawal et al. — the ablation Table III turns on.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+)
+
+// Config parameterizes an analysis run.
+type Config struct {
+	// ClockPS is the clock period constraint in picoseconds.
+	ClockPS float64
+	// SetupPS is the flip-flop setup time subtracted from the clock
+	// period at capture endpoints. Default 30 ps.
+	SetupPS float64
+	// Placement supplies wire lengths. Nil means "capacitance-only"
+	// timing (no wire delay, no wire cap) — Agrawal's model.
+	Placement *place.Placement
+	// TieLow lists signals assumed constant 0 for path sensitization —
+	// case analysis, as signoff tools apply to test-enable pins. A MUX
+	// whose select is tied low is timed through its first data pin only;
+	// the de-selected branch still contributes capacitive load (the
+	// hardware is physically there) but no timed path. Only MUX selects
+	// honor the tie; other uses of the signal time normally.
+	TieLow []netlist.SignalID
+}
+
+func (c Config) withDefaults() Config {
+	if c.SetupPS == 0 {
+		c.SetupPS = 30
+	}
+	return c
+}
+
+// Result is a completed timing analysis.
+type Result struct {
+	Netlist *netlist.Netlist
+	Lib     *cells.Library
+	Config  Config
+
+	// LoadFF[id] is the total capacitive load (fF) driven by signal id.
+	LoadFF []float64
+	// DelayPS[id] is the propagation delay (ps) of the gate driving id.
+	DelayPS []float64
+	// ArrivalPS[id] is the latest arrival time at the output of gate id.
+	ArrivalPS []float64
+	// RequiredPS[id] is the earliest required time at the output of
+	// gate id; +Inf for signals with no timed endpoint downstream.
+	RequiredPS []float64
+
+	tiedLow map[netlist.SignalID]bool
+}
+
+// Analyze runs a full timing analysis.
+func Analyze(n *netlist.Netlist, lib *cells.Library, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ClockPS <= 0 {
+		return nil, fmt.Errorf("sta: clock period must be positive, got %v", cfg.ClockPS)
+	}
+	if cfg.Placement != nil && cfg.Placement.Netlist != n {
+		return nil, fmt.Errorf("sta: placement belongs to netlist %q, analyzing %q",
+			cfg.Placement.Netlist.Name, n.Name)
+	}
+	r := &Result{
+		Netlist:    n,
+		Lib:        lib,
+		Config:     cfg,
+		LoadFF:     make([]float64, n.NumGates()),
+		DelayPS:    make([]float64, n.NumGates()),
+		ArrivalPS:  make([]float64, n.NumGates()),
+		RequiredPS: make([]float64, n.NumGates()),
+	}
+	r.tiedLow = make(map[netlist.SignalID]bool, len(cfg.TieLow))
+	for _, t := range cfg.TieLow {
+		r.tiedLow[t] = true
+	}
+	r.computeLoads()
+	r.computeDelays()
+	r.computeArrivals()
+	r.computeRequired()
+	return r, nil
+}
+
+// timedPins returns which fanin indices of a gate are timed: for a MUX
+// whose select is tied low, only pin 1; otherwise all pins.
+func (r *Result) timedPins(g *netlist.Gate) []int {
+	if g.Type == netlist.GateMux2 && r.tiedLow[g.Fanin[0]] {
+		return muxTiedPins
+	}
+	return nil // nil = all pins
+}
+
+var muxTiedPins = []int{1}
+
+// computeLoads sums, for every signal, the input capacitance of each fanout
+// pin, the wire capacitance to each sink (if placed), and the TSV pad
+// capacitance (plus wire) for outbound-TSV ports.
+func (r *Result) computeLoads() {
+	n, lib, pl := r.Netlist, r.Lib, r.Config.Placement
+	fanouts := n.Fanouts()
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		var load float64
+		for _, fo := range fanouts[id] {
+			load += lib.Of(n.TypeOf(fo)).InputCapFF
+			if pl != nil {
+				load += lib.WireCapFF(pl.WireLength(id, fo))
+			}
+		}
+		r.LoadFF[id] = load
+	}
+	for oi, o := range n.Outputs {
+		extra := 0.0
+		if o.Class == netlist.PortTSVOut {
+			extra = lib.TSVCapFF
+		}
+		if pl != nil {
+			extra += lib.WireCapFF(pl.DistanceToOut(o.Signal, oi))
+		}
+		r.LoadFF[o.Signal] += extra
+	}
+}
+
+func (r *Result) computeDelays() {
+	n, lib := r.Netlist, r.Lib
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		p := lib.Of(n.TypeOf(id))
+		r.DelayPS[id] = p.IntrinsicPS + p.DriveResKOhm*r.LoadFF[id]
+	}
+}
+
+// wirePS is the per-sink incremental wire delay from signal `from` to the
+// gate (or pad) at location of `to`.
+func (r *Result) wirePS(from, to netlist.SignalID) float64 {
+	if r.Config.Placement == nil {
+		return 0
+	}
+	drive := r.Lib.Of(r.Netlist.TypeOf(from)).DriveResKOhm
+	return r.Lib.WireDelayPS(r.Config.Placement.WireLength(from, to), drive)
+}
+
+func (r *Result) wireToOutPS(from netlist.SignalID, outIdx int) float64 {
+	if r.Config.Placement == nil {
+		return 0
+	}
+	drive := r.Lib.Of(r.Netlist.TypeOf(from)).DriveResKOhm
+	return r.Lib.WireDelayPS(r.Config.Placement.DistanceToOut(from, outIdx), drive)
+}
+
+// computeArrivals propagates arrival times in topological order. Sources
+// launch at t=0 except flip-flops, which launch at their clk-to-Q delay.
+func (r *Result) computeArrivals() {
+	n := r.Netlist
+	for _, id := range n.TopoOrder() {
+		g := n.Gate(id)
+		switch {
+		case g.Type == netlist.GateDFF:
+			r.ArrivalPS[id] = r.DelayPS[id] // clk->Q
+		case g.Type.IsSource():
+			r.ArrivalPS[id] = 0
+		default:
+			worst := 0.0
+			if pins := r.timedPins(g); pins != nil {
+				for _, pin := range pins {
+					f := g.Fanin[pin]
+					if at := r.ArrivalPS[f] + r.wirePS(f, id); at > worst {
+						worst = at
+					}
+				}
+			} else {
+				for _, f := range g.Fanin {
+					if at := r.ArrivalPS[f] + r.wirePS(f, id); at > worst {
+						worst = at
+					}
+				}
+			}
+			r.ArrivalPS[id] = worst + r.DelayPS[id]
+		}
+	}
+}
+
+// computeRequired propagates required times backward. Endpoints are
+// flip-flop D pins and output ports, both required at clock - setup.
+func (r *Result) computeRequired() {
+	n := r.Netlist
+	deadline := r.Config.ClockPS - r.Config.SetupPS
+	for i := range r.RequiredPS {
+		r.RequiredPS[i] = math.Inf(1)
+	}
+	for oi, o := range n.Outputs {
+		req := deadline - r.wireToOutPS(o.Signal, oi)
+		if req < r.RequiredPS[o.Signal] {
+			r.RequiredPS[o.Signal] = req
+		}
+	}
+	// Seed every capture endpoint BEFORE the backward sweep: flip-flops
+	// sit early in the topological order (their Q is a source), so
+	// handling their D pins during the reverse walk would set the
+	// endpoint after its fan-in cone had already been processed, leaving
+	// everything upstream optimistically untimed.
+	for _, ff := range n.FlipFlops() {
+		d := n.Gate(ff).Fanin[0]
+		req := deadline - r.wirePS(d, ff)
+		if req < r.RequiredPS[d] {
+			r.RequiredPS[d] = req
+		}
+	}
+	order := n.TopoOrder()
+	for k := len(order) - 1; k >= 0; k-- {
+		id := order[k]
+		g := n.Gate(id)
+		if g.Type == netlist.GateDFF {
+			continue // endpoints seeded above
+		}
+		if g.Type.IsSource() || math.IsInf(r.RequiredPS[id], 1) {
+			// Required time at this gate's output does not constrain
+			// fanins if nothing downstream is timed... but we still
+			// must not skip propagation for sources (no fanin anyway).
+			if g.Type.IsSource() {
+				continue
+			}
+		}
+		if pins := r.timedPins(g); pins != nil {
+			for _, pin := range pins {
+				f := g.Fanin[pin]
+				req := r.RequiredPS[id] - r.DelayPS[id] - r.wirePS(f, id)
+				if req < r.RequiredPS[f] {
+					r.RequiredPS[f] = req
+				}
+			}
+			continue
+		}
+		for _, f := range g.Fanin {
+			req := r.RequiredPS[id] - r.DelayPS[id] - r.wirePS(f, id)
+			if req < r.RequiredPS[f] {
+				r.RequiredPS[f] = req
+			}
+		}
+	}
+}
+
+// SlackPS returns the timing slack of a signal: required - arrival.
+// Signals with no timed endpoint downstream have +Inf slack.
+func (r *Result) SlackPS(id netlist.SignalID) float64 {
+	return r.RequiredPS[id] - r.ArrivalPS[id]
+}
+
+// WNS returns the worst negative slack over all signals (the most negative
+// slack; positive if the whole die meets timing).
+func (r *Result) WNS() float64 {
+	wns := math.Inf(1)
+	for i := range r.ArrivalPS {
+		if s := r.SlackPS(netlist.SignalID(i)); s < wns {
+			wns = s
+		}
+	}
+	return wns
+}
+
+// HasViolation reports whether any signal misses the clock constraint.
+func (r *Result) HasViolation() bool { return r.WNS() < 0 }
+
+// Violations returns the signals with negative slack, worst first capped at
+// max entries (0 = all).
+func (r *Result) Violations(max int) []netlist.SignalID {
+	var v []netlist.SignalID
+	for i := range r.ArrivalPS {
+		if r.SlackPS(netlist.SignalID(i)) < 0 {
+			v = append(v, netlist.SignalID(i))
+		}
+	}
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && r.SlackPS(v[j]) < r.SlackPS(v[j-1]); j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	if max > 0 && len(v) > max {
+		v = v[:max]
+	}
+	return v
+}
+
+// CriticalPathPS returns the longest arrival time at any endpoint — the
+// minimum feasible clock period before setup margin.
+func (r *Result) CriticalPathPS() float64 {
+	n := r.Netlist
+	worst := 0.0
+	for oi, o := range n.Outputs {
+		if at := r.ArrivalPS[o.Signal] + r.wireToOutPS(o.Signal, oi); at > worst {
+			worst = at
+		}
+	}
+	for _, ff := range n.FlipFlops() {
+		d := n.Gate(ff).Fanin[0]
+		if at := r.ArrivalPS[d] + r.wirePS(d, ff); at > worst {
+			worst = at
+		}
+	}
+	return worst
+}
+
+// CriticalPath returns the worst-slack endpoint's path as a signal chain
+// from a launch point to the endpoint, following the latest-arriving fanin
+// at each step (respecting case analysis). Empty when the design has no
+// timed endpoints.
+func (r *Result) CriticalPath() []netlist.SignalID {
+	n := r.Netlist
+	// Worst endpoint: minimum slack among true capture points (signals
+	// feeding an output port or a flip-flop D pin) — every signal on a
+	// critical path shares the path slack, so the walk must anchor at
+	// the endpoint, not the first minimal-slack signal found.
+	isEndpoint := make(map[netlist.SignalID]bool)
+	for _, o := range n.Outputs {
+		isEndpoint[o.Signal] = true
+	}
+	for _, ff := range n.FlipFlops() {
+		isEndpoint[n.Gate(ff).Fanin[0]] = true
+	}
+	end := netlist.InvalidSignal
+	worst := math.Inf(1)
+	for i := range r.ArrivalPS { // ID order keeps tie-breaks deterministic
+		id := netlist.SignalID(i)
+		if !isEndpoint[id] || math.IsInf(r.RequiredPS[id], 1) {
+			continue
+		}
+		if s := r.SlackPS(id); s < worst {
+			worst, end = s, id
+		}
+	}
+	if end == netlist.InvalidSignal {
+		return nil
+	}
+	var path []netlist.SignalID
+	cur := end
+	for steps := 0; steps <= n.NumGates(); steps++ {
+		path = append(path, cur)
+		g := n.Gate(cur)
+		if g.Type.IsSource() || g.Type == netlist.GateDFF || len(g.Fanin) == 0 {
+			break
+		}
+		pins := r.timedPins(g)
+		pick := netlist.InvalidSignal
+		consider := func(f netlist.SignalID) {
+			at := r.ArrivalPS[f] + r.wirePS(f, cur)
+			if pick == netlist.InvalidSignal || at > r.ArrivalPS[pick]+r.wirePS(pick, cur) {
+				pick = f
+			}
+		}
+		if pins != nil {
+			for _, pin := range pins {
+				consider(g.Fanin[pin])
+			}
+		} else {
+			for _, f := range g.Fanin {
+				consider(f)
+			}
+		}
+		if pick == netlist.InvalidSignal {
+			break
+		}
+		cur = pick
+	}
+	// Reverse to launch→endpoint order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

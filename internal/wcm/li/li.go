@@ -1,0 +1,101 @@
+// Package li reproduces the method of J. Li and D. Xiang, "DFT optimization
+// for pre-bond testing of 3D-SICs containing TSVs" (ICCD 2010): reuse an
+// existing scan flip-flop as the wrapper cell of at most ONE TSV — one-shot
+// matching, no multi-TSV sharing — inserting an additional wrapper cell for
+// every TSV left unmatched. It predates the clique formulation and serves
+// as the weaker reuse baseline.
+package li
+
+import (
+	"fmt"
+	"math"
+
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/scan"
+	"wcm3d/internal/wcm"
+)
+
+// Run executes the one-shot matching. Pairing requires non-overlapping
+// cones (controllability for inbound TSVs through the FF's fan-out side,
+// observability for outbound TSVs through the fan-in side) plus the same
+// capacitance bound the clique methods honor. Matching is greedy
+// nearest-eligible-first when a placement is present, first-eligible
+// otherwise.
+func Run(in wcm.Input, capThFF float64) (*wcm.Result, error) {
+	n := in.Netlist
+	if n == nil || in.Lib == nil || in.Timing == nil {
+		return nil, fmt.Errorf("li: Netlist, Lib and Timing are required")
+	}
+	asn := &scan.Assignment{}
+	used := map[netlist.SignalID]bool{}
+
+	var coneSignals []netlist.SignalID
+	ffs := n.FlipFlops()
+	for _, ff := range ffs {
+		coneSignals = append(coneSignals, ff, n.Gate(ff).Fanin[0])
+	}
+	coneSignals = append(coneSignals, n.InboundTSVs()...)
+	for _, p := range n.OutboundTSVs() {
+		coneSignals = append(coneSignals, n.Outputs[p].Signal)
+	}
+	cones := netlist.NewConeSet(n, coneSignals)
+
+	dist := func(a, b netlist.SignalID) float64 {
+		if in.Placement == nil {
+			return 0
+		}
+		return in.Placement.Distance(a, b)
+	}
+
+	pick := func(anchor netlist.SignalID, eligible func(ff netlist.SignalID) bool) netlist.SignalID {
+		best := netlist.InvalidSignal
+		bestD := math.Inf(1)
+		for _, ff := range ffs {
+			if used[ff] || !eligible(ff) {
+				continue
+			}
+			if d := dist(anchor, ff); d < bestD {
+				best, bestD = ff, d
+			}
+		}
+		return best
+	}
+
+	muxCap := in.Lib.Of(netlist.GateMux2).InputCapFF
+	for _, t := range n.InboundTSVs() {
+		ff := pick(t, func(ff netlist.SignalID) bool {
+			if cones.Fanout(ff).Intersects(cones.Fanout(t)) {
+				return false
+			}
+			return in.Timing.LoadFF[ff]+muxCap < capThFF
+		})
+		grp := scan.ControlGroup{ReusedFF: ff, TSVs: []netlist.SignalID{t}}
+		if ff != netlist.InvalidSignal {
+			used[ff] = true
+		}
+		asn.Control = append(asn.Control, grp)
+	}
+	for _, p := range n.OutboundTSVs() {
+		sig := n.Outputs[p].Signal
+		ff := pick(sig, func(ff netlist.SignalID) bool {
+			d := n.Gate(ff).Fanin[0]
+			if d == sig {
+				return false
+			}
+			return !cones.Fanin(d).Intersects(cones.Fanin(sig))
+		})
+		grp := scan.ObserveGroup{ReusedFF: ff, Ports: []int{p}}
+		if ff != netlist.InvalidSignal {
+			used[ff] = true
+		}
+		asn.Observe = append(asn.Observe, grp)
+	}
+	if err := asn.Validate(n); err != nil {
+		return nil, fmt.Errorf("li: produced invalid plan: %w", err)
+	}
+	return &wcm.Result{
+		Assignment:      asn,
+		ReusedFFs:       asn.ReusedFFs(),
+		AdditionalCells: asn.AdditionalCells(),
+	}, nil
+}

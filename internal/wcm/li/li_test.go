@@ -1,0 +1,140 @@
+package li
+
+import (
+	"testing"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+	"wcm3d/internal/scan"
+	"wcm3d/internal/sta"
+	"wcm3d/internal/wcm"
+)
+
+func prep(t *testing.T, seed int64) wcm.Input {
+	t.Helper()
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: 300, FFs: 14, PIs: 5, POs: 3, InboundTSVs: 10, OutboundTSVs: 10, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default45nm()
+	pl, err := place.Place(n, place.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing, err := sta.Analyze(n, lib, sta.Config{ClockPS: 1e5, Placement: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wcm.Input{Netlist: n, Lib: lib, Placement: pl, Timing: timing}
+}
+
+func TestLiOneShotSemantics(t *testing.T) {
+	in := prep(t, 3)
+	res, err := Run(in, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := in.Netlist
+	if err := res.Assignment.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Covered(n) {
+		t.Error("plan must cover every TSV")
+	}
+	// One-shot: every group holds exactly one TSV.
+	for _, g := range res.Assignment.Control {
+		if len(g.TSVs) != 1 {
+			t.Errorf("Li control group holds %d TSVs, want 1", len(g.TSVs))
+		}
+	}
+	for _, g := range res.Assignment.Observe {
+		if len(g.Ports) != 1 {
+			t.Errorf("Li observe group holds %d ports, want 1", len(g.Ports))
+		}
+	}
+	// Reuse + additional = total TSVs (no sharing).
+	total := len(n.InboundTSVs()) + len(n.OutboundTSVs())
+	if res.ReusedFFs+res.AdditionalCells != total {
+		t.Errorf("reused %d + cells %d != %d TSVs", res.ReusedFFs, res.AdditionalCells, total)
+	}
+	if res.ReusedFFs == 0 {
+		t.Error("expected some reuse")
+	}
+}
+
+func TestLiNeverBeatsSharingMethods(t *testing.T) {
+	in := prep(t, 7)
+	liRes, err := Run(in, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oursRes, err := wcm.Run(in, wcm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oursRes.AdditionalCells > liRes.AdditionalCells {
+		t.Errorf("clique sharing (%d cells) lost to one-shot reuse (%d cells)",
+			oursRes.AdditionalCells, liRes.AdditionalCells)
+	}
+}
+
+func TestLiRespectsConeSafety(t *testing.T) {
+	// A reused FF's relevant cone must not overlap its TSV's cone
+	// (excluding shared sources is ours' refinement; Li is strict).
+	in := prep(t, 11)
+	res, err := Run(in, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := in.Netlist
+	var sigs []netlist.SignalID
+	sigs = append(sigs, n.InboundTSVs()...)
+	for _, ff := range n.FlipFlops() {
+		sigs = append(sigs, ff, n.Gate(ff).Fanin[0])
+	}
+	for _, p := range n.OutboundTSVs() {
+		sigs = append(sigs, n.Outputs[p].Signal)
+	}
+	cones := netlist.NewConeSet(n, sigs)
+	for _, g := range res.Assignment.Control {
+		if !g.Reused() {
+			continue
+		}
+		if cones.Fanout(g.ReusedFF).Intersects(cones.Fanout(g.TSVs[0])) {
+			t.Errorf("control reuse with overlapping fan-out cones: FF %s / TSV %s",
+				n.NameOf(g.ReusedFF), n.NameOf(g.TSVs[0]))
+		}
+	}
+	for _, g := range res.Assignment.Observe {
+		if !g.Reused() {
+			continue
+		}
+		d := n.Gate(g.ReusedFF).Fanin[0]
+		sig := n.Outputs[g.Ports[0]].Signal
+		if cones.Fanin(d).Intersects(cones.Fanin(sig)) {
+			t.Errorf("observe reuse with overlapping fan-in cones: FF %s / port %s",
+				n.NameOf(g.ReusedFF), n.Outputs[g.Ports[0]].Name)
+		}
+	}
+}
+
+func TestLiPlanIsApplicable(t *testing.T) {
+	in := prep(t, 13)
+	res, err := Run(in, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan.ApplyTestMode(in.Netlist, res.Assignment); err != nil {
+		t.Fatalf("Li plan not applicable: %v", err)
+	}
+}
+
+func TestLiRejectsIncompleteInput(t *testing.T) {
+	if _, err := Run(wcm.Input{}, 150); err == nil {
+		t.Error("empty input must fail")
+	}
+}

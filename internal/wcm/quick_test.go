@@ -1,0 +1,102 @@
+package wcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/place"
+	"wcm3d/internal/sta"
+)
+
+// TestQuickPlanAlwaysValidAndCovering: for arbitrary small dies and
+// threshold settings, the WCM flow must always emit a valid plan covering
+// every TSV — the hard invariant everything downstream (DFT editing, ATPG
+// grading, timing signoff) depends on.
+func TestQuickPlanAlwaysValidAndCovering(t *testing.T) {
+	lib := cells.Default45nm()
+	f := func(seed int64, inRaw, outRaw uint8, capRaw, distRaw uint8, overlap bool) bool {
+		n, err := netgen.Random(netgen.RandomOptions{
+			Gates:        150,
+			FFs:          8,
+			PIs:          4,
+			POs:          3,
+			InboundTSVs:  1 + int(inRaw%12),
+			OutboundTSVs: 1 + int(outRaw%12),
+			Seed:         seed,
+		})
+		if err != nil {
+			return false
+		}
+		pl, err := place.Place(n, place.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		timing, err := sta.Analyze(n, lib, sta.Config{ClockPS: 5000, Placement: pl})
+		if err != nil {
+			return false
+		}
+		opts := Options{
+			CapThFF:      40 + float64(capRaw%120),
+			SlackThPS:    0,
+			DistThUM:     20 + float64(distRaw)*3,
+			AllowOverlap: overlap,
+			CovThFrac:    0.005,
+			PatThCount:   10,
+		}
+		res, err := Run(Input{Netlist: n, Lib: lib, Placement: pl, Timing: timing}, opts)
+		if err != nil {
+			return false
+		}
+		if err := res.Assignment.Validate(n); err != nil {
+			return false
+		}
+		return res.Assignment.Covered(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverlapNeverWorsens: under any configuration, allowing
+// overlapped-cone edges must not increase the additional-cell count —
+// because overlap edges are only consumed after clean edges are exhausted.
+func TestQuickOverlapNeverWorsens(t *testing.T) {
+	lib := cells.Default45nm()
+	f := func(seed int64, inRaw, outRaw uint8) bool {
+		n, err := netgen.Random(netgen.RandomOptions{
+			Gates: 200, FFs: 10, PIs: 4, POs: 3,
+			InboundTSVs:  2 + int(inRaw%10),
+			OutboundTSVs: 2 + int(outRaw%10),
+			Seed:         seed,
+		})
+		if err != nil {
+			return false
+		}
+		pl, err := place.Place(n, place.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		timing, err := sta.Analyze(n, lib, sta.Config{ClockPS: 5000, Placement: pl})
+		if err != nil {
+			return false
+		}
+		in := Input{Netlist: n, Lib: lib, Placement: pl, Timing: timing}
+		off := DefaultOptions()
+		off.AllowOverlap = false
+		on := DefaultOptions()
+		rOff, err := Run(in, off)
+		if err != nil {
+			return false
+		}
+		rOn, err := Run(in, on)
+		if err != nil {
+			return false
+		}
+		return rOn.AdditionalCells <= rOff.AdditionalCells
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,484 @@
+package wcm
+
+import (
+	"fmt"
+	"math"
+
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/scan"
+	"wcm3d/internal/wcmgraph"
+)
+
+// Run executes the full WCM flow on a die and returns the wrapper plan.
+func Run(in Input, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := in.validate(opts); err != nil {
+		return nil, err
+	}
+	n := in.Netlist
+	inbound := n.InboundTSVs()
+	outbound := n.OutboundTSVs()
+	firstInbound := true
+	switch opts.Order {
+	case OrderLargerFirst:
+		firstInbound = len(inbound) >= len(outbound)
+	case OrderSmallerFirst:
+		firstInbound = len(inbound) < len(outbound)
+	case OrderInboundFirst:
+		firstInbound = true
+	case OrderOutboundFirst:
+		firstInbound = false
+	}
+
+	available := make(map[netlist.SignalID]bool, len(n.FlipFlops()))
+	for _, ff := range n.FlipFlops() {
+		available[ff] = true
+	}
+
+	res := &Result{Assignment: &scan.Assignment{}, Options: opts}
+	phases := []bool{firstInbound, !firstInbound}
+	for pi, isInbound := range phases {
+		ph := &phaseRunner{in: in, opts: opts, inbound: isInbound, available: available}
+		stats, err := ph.run(res.Assignment)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases = append(res.Phases, stats)
+		if pi == 0 && in.RefreshTiming != nil {
+			refreshed, err := in.RefreshTiming(res.Assignment)
+			if err != nil {
+				return nil, fmt.Errorf("wcm: refreshing timing after first phase: %w", err)
+			}
+			if refreshed != nil {
+				in.Timing = refreshed
+			}
+		}
+	}
+	// The wire-aware planner knows where its long test runs are, so it
+	// plans repeatered (buffered) test routing; the capacitance-only
+	// baseline cannot, and its plan ships unbuffered.
+	res.Assignment.BufferedRouting = opts.Timing == TimingCapWire
+	res.ReusedFFs = res.Assignment.ReusedFFs()
+	res.AdditionalCells = res.Assignment.AdditionalCells()
+	if err := res.Assignment.Validate(n); err != nil {
+		return nil, fmt.Errorf("wcm: produced invalid plan: %w", err)
+	}
+	if !res.Assignment.Covered(n) {
+		return nil, fmt.Errorf("wcm: plan does not cover every TSV")
+	}
+	return res, nil
+}
+
+// phaseRunner builds and partitions the sharing graph for one TSV set.
+type phaseRunner struct {
+	in        Input
+	opts      Options
+	inbound   bool
+	available map[netlist.SignalID]bool
+
+	// per-run state
+	tsvSignals []netlist.SignalID // cone anchor per TSV item
+	tsvPorts   []int              // outbound only: port index per item
+	cones      *netlist.ConeSet
+	sourceMask *netlist.BitSet // sources excluded from cone-overlap tests
+	graph      *wcmgraph.Graph
+	nodeFF     []netlist.SignalID // graph node id -> FF (or InvalidSignal)
+}
+
+func (ph *phaseRunner) run(asn *scan.Assignment) (PhaseStats, error) {
+	stats := PhaseStats{Inbound: ph.inbound}
+	n := ph.in.Netlist
+
+	// ----- Item collection and node filters (Algorithm 1, lines 1-14).
+	var excluded []int // item indices filtered out -> dedicated cells
+	var items []int    // item indices entering the graph
+	if ph.inbound {
+		for _, t := range n.InboundTSVs() {
+			ph.tsvSignals = append(ph.tsvSignals, t)
+		}
+		// The node filter guards the wrapper mux's drive capability: the
+		// mux takes over driving the pad's downstream pins, so a pad
+		// whose pin load exceeds what a library mux can drive is
+		// excluded (it gets a dedicated, appropriately-sized wrapper
+		// cell). Pin capacitance only — long functional nets carry
+		// buffers in a real flow, so wire load is not a drive concern
+		// here; the wire-aware budgets police everything timing.
+		for i, t := range ph.tsvSignals {
+			pinLoad := 0.0
+			for _, fo := range n.Fanouts()[t] {
+				pinLoad += ph.in.Lib.Of(n.TypeOf(fo)).InputCapFF
+			}
+			if pinLoad < ph.opts.PadCapThFF {
+				items = append(items, i)
+			} else {
+				excluded = append(excluded, i)
+			}
+		}
+	} else {
+		for _, p := range n.OutboundTSVs() {
+			ph.tsvPorts = append(ph.tsvPorts, p)
+			ph.tsvSignals = append(ph.tsvSignals, n.Outputs[p].Signal)
+		}
+		// A port may enter the graph when its driver's slack covers the
+		// observation tap (an XOR pin plus one repeater segment slow the
+		// driver; the delta rides every functional path through it) on
+		// top of the s_th reserve. The fold-XOR chain itself is a
+		// test-mode path and is not held to functional slack.
+		for i, sig := range ph.tsvSignals {
+			if ph.in.Timing.SlackPS(sig)-ph.opts.SlackThPS > ph.tapCostPS(sig) {
+				items = append(items, i)
+			} else {
+				excluded = append(excluded, i)
+			}
+		}
+	}
+	stats.FilteredTSVs = len(excluded)
+
+	// Cones: fan-out side for control sharing, fan-in side for
+	// observation sharing.
+	var coneSignals []netlist.SignalID
+	coneSignals = append(coneSignals, ph.tsvSignals...)
+	var ffs []netlist.SignalID
+	for _, ff := range n.FlipFlops() {
+		if ph.available[ff] && ph.ffEligible(ff) {
+			ffs = append(ffs, ff)
+			if ph.inbound {
+				coneSignals = append(coneSignals, ff)
+			} else {
+				coneSignals = append(coneSignals, n.Gate(ff).Fanin[0])
+			}
+		}
+	}
+	ph.cones = netlist.NewConeSet(n, coneSignals)
+	ph.sourceMask = netlist.NewBitSet(n.NumGates())
+	for i := range n.Gates {
+		id := netlist.SignalID(i)
+		if n.TypeOf(id).IsSource() || n.TypeOf(id) == netlist.GateDFF {
+			ph.sourceMask.Set(id)
+		}
+	}
+
+	// ----- Node construction.
+	ph.graph = wcmgraph.New(len(items) + len(ffs))
+	tsvNode := make([]int, len(ph.tsvSignals))
+	for i := range tsvNode {
+		tsvNode[i] = -1
+	}
+	for _, i := range items {
+		node := wcmgraph.Node{Members: []int32{int32(i)}}
+		ph.fillTSVNode(&node, i)
+		id, err := ph.graph.AddNode(node)
+		if err != nil {
+			return stats, err
+		}
+		tsvNode[i] = id
+		ph.nodeFF = append(ph.nodeFF, netlist.InvalidSignal)
+	}
+	ffNode := make([]int, 0, len(ffs))
+	for _, ff := range ffs {
+		node := wcmgraph.Node{HasFF: true, FF: int32(ff)}
+		ph.fillFFNode(&node, ff)
+		id, err := ph.graph.AddNode(node)
+		if err != nil {
+			return stats, err
+		}
+		ffNode = append(ffNode, id)
+		ph.nodeFF = append(ph.nodeFF, ff)
+	}
+	stats.Nodes = ph.graph.NumAlive()
+
+	// ----- Edge construction (Algorithm 1, lines 16-26).
+	addPair := func(a, b int) {
+		ok, overlap := ph.edgeAllowed(a, b)
+		if !ok {
+			return
+		}
+		if overlap {
+			ph.graph.AddOverlapEdge(a, b)
+			stats.OverlapEdges++
+		} else {
+			ph.graph.AddEdge(a, b)
+		}
+	}
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			addPair(tsvNode[items[i]], tsvNode[items[j]])
+		}
+		for _, fid := range ffNode {
+			addPair(tsvNode[items[i]], fid)
+		}
+	}
+	stats.Edges = ph.graph.NumEdges()
+
+	// ----- Heuristic clique partitioning (Algorithm 2).
+	if err := ph.partition(&stats); err != nil {
+		return stats, err
+	}
+
+	// ----- Plan assembly.
+	for _, cid := range ph.graph.Cliques() {
+		node := ph.graph.Node(cid)
+		if len(node.Members) == 0 {
+			continue // unused flip-flop
+		}
+		stats.Cliques++
+		ffSig := netlist.InvalidSignal
+		if node.HasFF {
+			ffSig = netlist.SignalID(node.FF)
+			ph.available[ffSig] = false
+		}
+		ph.emitGroup(asn, ffSig, node.Members)
+	}
+	for _, i := range excluded {
+		ph.emitGroup(asn, netlist.InvalidSignal, []int32{int32(i)})
+	}
+	return stats, nil
+}
+
+// fillTSVNode initializes load/budget/position for a TSV node.
+func (ph *phaseRunner) fillTSVNode(node *wcmgraph.Node, item int) {
+	lib := ph.in.Lib
+	if ph.inbound {
+		// Under buffered test routing the functional costs of control
+		// sharing are per-node, not per-clique (the one-time segment on
+		// the reused flip-flop's Q is checked by ffEligible); dimension
+		// 1 is inert and dimension 2 carries post-bond drive capacity:
+		// the wrapper must drive each member's TSV pillar.
+		node.Load = 0
+		node.Budget = math.Inf(1)
+		node.Load2 = lib.TSVCapFF + lib.Of(netlist.GateMux2).InputCapFF
+		node.Budget2 = ph.opts.CapThFF
+		if ph.in.Placement != nil {
+			pt := ph.in.Placement.Coords[ph.tsvSignals[item]]
+			node.X, node.Y = pt.X, pt.Y
+			node.X2, node.Y2 = pt.X, pt.Y
+		}
+		return
+	}
+	// Observation: the functional tap cost is per-node and checked at
+	// item collection; the fold-XOR chain is a test-mode path policed by
+	// d_th and drive capacity, so dimension 1 is inert here too.
+	sig := ph.tsvSignals[item]
+	xor := lib.Of(netlist.GateXor)
+	node.Load = 0
+	node.Budget = math.Inf(1)
+	node.Load2 = lib.TSVCapFF + xor.InputCapFF
+	node.Budget2 = ph.opts.CapThFF
+	if ph.in.Placement != nil {
+		pt := ph.in.Placement.Coords[sig]
+		node.X, node.Y = pt.X, pt.Y
+		node.X2, node.Y2 = pt.X, pt.Y
+	}
+}
+
+// fillFFNode initializes load/budget/position for a flip-flop node.
+func (ph *phaseRunner) fillFFNode(node *wcmgraph.Node, ff netlist.SignalID) {
+	lib := ph.in.Lib
+	node.Budget2 = ph.opts.CapThFF // post-bond drive capacity of the FF
+	node.Load = 0
+	node.Budget = math.Inf(1) // per-node functional costs checked by ffEligible
+	_ = lib
+	if ph.in.Placement != nil {
+		pt := ph.in.Placement.Coords[ff]
+		node.X, node.Y = pt.X, pt.Y
+		node.X2, node.Y2 = pt.X, pt.Y
+	}
+}
+
+// tapCostPS is the functional delay penalty a fold tap puts on the
+// observed signal's driver: an XOR pin plus one repeater segment of wire.
+func (ph *phaseRunner) tapCostPS(sig netlist.SignalID) float64 {
+	if ph.opts.Timing != TimingCapWire {
+		return 0 // the capacitance-only model cannot see it
+	}
+	lib := ph.in.Lib
+	xor := lib.Of(netlist.GateXor)
+	drive := lib.Of(ph.in.Netlist.TypeOf(sig)).DriveResKOhm
+	return drive * (xor.InputCapFF + lib.DriverWireCapFF(lib.TestBufferDistUM))
+}
+
+// ffEligible applies the per-flip-flop functional checks of the accurate
+// timing model: the control-side test run hangs one repeater segment plus
+// a mux pin on Q (spending launch slack), and observe-side reuse inserts a
+// mux on the D path (spending capture slack). Under the capacitance-only
+// model flip-flops are always eligible — that blindness is what Table III
+// punishes.
+func (ph *phaseRunner) ffEligible(ff netlist.SignalID) bool {
+	if ph.opts.Timing != TimingCapWire {
+		return true
+	}
+	lib := ph.in.Lib
+	if ph.inbound {
+		r := lib.Of(netlist.GateDFF).DriveResKOhm
+		deltaPS := r * (lib.DriverWireCapFF(lib.TestBufferDistUM) + lib.Of(netlist.GateMux2).InputCapFF)
+		return deltaPS <= ph.opts.SlackSpendFrac*ph.in.Timing.SlackPS(ff)
+	}
+	d := ph.in.Netlist.Gate(ff).Fanin[0]
+	mux := lib.Of(netlist.GateMux2)
+	muxDelay := mux.IntrinsicPS + mux.DriveResKOhm*lib.Of(netlist.GateDFF).InputCapFF
+	return muxDelay <= ph.in.Timing.SlackPS(d)-ph.opts.SlackThPS
+}
+
+// edgeAllowed evaluates Algorithm 1's edge conditions for two graph nodes.
+func (ph *phaseRunner) edgeAllowed(a, b int) (ok, overlap bool) {
+	na, nb := ph.graph.Node(a), ph.graph.Node(b)
+	// Distance threshold: the merged clique's span must stay within d_th
+	// so no member's test wiring runs farther than that.
+	if !math.IsInf(ph.opts.DistThUM, 1) && ph.in.Placement != nil {
+		if wcmgraph.BBoxUnionDiameter(na, nb) >= ph.opts.DistThUM {
+			return false, false
+		}
+	}
+	// The pair must be mergeable at all under the cost model, otherwise
+	// the edge only wastes partitioning effort.
+	if !ph.mergeFits(na, nb) {
+		return false, false
+	}
+	// Cone conditions.
+	ca := ph.coneOf(a)
+	cb := ph.coneOf(b)
+	if ph.sameAnchor(a, b) {
+		return false, false // identical signal: XOR folding would cancel
+	}
+	// Overlap means shared combinational logic; shared sources (a PI
+	// feeding both cones, a flip-flop read by both) are independently
+	// controllable and do not make sharing unsafe by themselves.
+	if !ca.IntersectsExcluding(cb, ph.sourceMask) {
+		return true, false
+	}
+	if !ph.opts.AllowOverlap {
+		return false, false
+	}
+	shared := ca.IntersectCountExcluding(cb, ph.sourceMask)
+	covLoss, patInc := ph.opts.Testability.SharePenalty(ph.in.Netlist, shared)
+	if covLoss < ph.opts.CovThFrac && patInc < ph.opts.PatThCount {
+		return true, true
+	}
+	return false, false
+}
+
+// coneOf returns the sharing-relevant cone of a (non-merged) graph node.
+func (ph *phaseRunner) coneOf(id int) *netlist.BitSet {
+	n := ph.in.Netlist
+	node := ph.graph.Node(id)
+	if node.HasFF {
+		ff := netlist.SignalID(node.FF)
+		if ph.inbound {
+			return ph.cones.Fanout(ff)
+		}
+		return ph.cones.Fanin(n.Gate(ff).Fanin[0])
+	}
+	sig := ph.tsvSignals[node.Members[0]]
+	if ph.inbound {
+		return ph.cones.Fanout(sig)
+	}
+	return ph.cones.Fanin(sig)
+}
+
+// sameAnchor reports whether two nodes anchor on the same signal (possible
+// on the outbound side when a flip-flop's D driver also feeds a TSV port).
+func (ph *phaseRunner) sameAnchor(a, b int) bool {
+	return ph.anchor(a) == ph.anchor(b)
+}
+
+func (ph *phaseRunner) anchor(id int) netlist.SignalID {
+	node := ph.graph.Node(id)
+	if node.HasFF {
+		if ph.inbound {
+			return netlist.SignalID(node.FF)
+		}
+		return ph.in.Netlist.Gate(netlist.SignalID(node.FF)).Fanin[0]
+	}
+	return ph.tsvSignals[node.Members[0]]
+}
+
+// partition runs paper Algorithm 2: repeatedly take the minimum-degree
+// node and its minimum-degree neighbor; merge them when the combined cost
+// fits the budget, otherwise delete the edge; stop when no edges remain.
+func (ph *phaseRunner) partition(stats *PhaseStats) error {
+	g := ph.graph
+	for {
+		var n1, n2 int
+		var ok bool
+		if ph.opts.Merge == MergeFirstEdge {
+			n1, n2, ok = g.FirstEdgePair()
+		} else {
+			n1, n2, ok = g.MinDegreePair()
+		}
+		if !ok {
+			return nil
+		}
+		a, b := g.Node(n1), g.Node(n2)
+		if ph.mergeFits(a, b) {
+			// The accumulated load carries the additive parts (stage
+			// delays, pin caps); the bbox wire term is recomputed at
+			// every check from the merged geometry, so it is charged to
+			// the control-side cap accumulation only.
+			mergedLoad := a.Load + b.Load
+			if ph.inbound {
+				mergedLoad += ph.wireTerm(a, b)
+			}
+			if _, err := g.Merge(n1, n2, mergedLoad); err != nil {
+				return err
+			}
+			stats.Merges++
+		} else {
+			g.DeleteEdge(n1, n2)
+			stats.EdgeDeletes++
+		}
+	}
+}
+
+// mergeFits applies the merge test of Algorithm 2 ("cap + 1 < cap_th") in
+// both cost dimensions: wire-aware load against the timing budget, and
+// post-bond drive capacity against the library bound. Under the
+// capacitance-only model the wire-aware dimension is inert (its loads
+// carry no wire terms and its budgets are the same cap_th).
+//
+// The wire term is charged conservatively from the merged clique's
+// bounding box: on the observe side the box diameter bounds the route any
+// member's signal needs to reach the shared capture cell; on the control
+// side each member's run is repeater-bounded, so the cost is per-merge
+// capacitance.
+func (ph *phaseRunner) mergeFits(a, b *wcmgraph.Node) bool {
+	if a.Load+b.Load+ph.wireTerm(a, b) >= minF(a.Budget, b.Budget) {
+		return false
+	}
+	return a.Load2+b.Load2 < minF(a.Budget2, b.Budget2)
+}
+
+// wireTerm is the dimension-1 wire cost of merging a and b.
+func (ph *phaseRunner) wireTerm(a, b *wcmgraph.Node) float64 {
+	if ph.opts.Timing != TimingCapWire || ph.in.Placement == nil {
+		return 0
+	}
+	// Buffered test routing on both sides: the shared wrapper's load
+	// does not grow with clique span (control), and the fold chain is a
+	// relaxed-clock test path (observe). Span is policed by d_th, drive
+	// by the capacity dimension.
+	return 0
+}
+
+// emitGroup appends one clique to the plan.
+func (ph *phaseRunner) emitGroup(asn *scan.Assignment, ff netlist.SignalID, members []int32) {
+	if ph.inbound {
+		grp := scan.ControlGroup{ReusedFF: ff}
+		for _, m := range members {
+			grp.TSVs = append(grp.TSVs, ph.tsvSignals[m])
+		}
+		asn.Control = append(asn.Control, grp)
+		return
+	}
+	grp := scan.ObserveGroup{ReusedFF: ff}
+	for _, m := range members {
+		grp.Ports = append(grp.Ports, ph.tsvPorts[m])
+	}
+	asn.Observe = append(asn.Observe, grp)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

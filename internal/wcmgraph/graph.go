@@ -1,0 +1,395 @@
+// Package wcmgraph implements the sharing graph of the wrapper-cell
+// minimization problem (paper §III): nodes are scan flip-flops and TSVs, an
+// edge means "these two can share one wrapper cell", and the heuristic
+// clique partitioner (paper Algorithm 2) repeatedly merges the
+// minimum-degree adjacent pair.
+//
+// Adjacency is stored as one bitset per node. The WCM graphs of the
+// largest ITC'99 dies hold a few thousand nodes, so a bitset row is a few
+// hundred bytes; intersections (the common-neighbor computation every merge
+// needs) are word-parallel ANDs.
+package wcmgraph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Node is one graph node: a scan flip-flop, a TSV, or a merged clique.
+type Node struct {
+	// HasFF reports whether the clique contains a scan flip-flop.
+	HasFF bool
+	// FF is the flip-flop signal when HasFF (exported for the caller;
+	// the graph itself does not interpret it).
+	FF int32
+	// Members are caller-defined TSV indices merged into this clique.
+	Members  []int32
+	cleanDeg int32
+	// Load is the accumulated wire-aware sharing cost (capacitance on
+	// the control side, delay on the observe side). Additive under
+	// merge.
+	Load float64
+	// Budget is the bound on Load (cap_th headroom on the control side,
+	// timing slack on the observe side). The minimum survives a merge.
+	Budget float64
+	// Load2 and Budget2 are a second, independent cost dimension: the
+	// post-bond drive capacity a wrapper cell must supply (TSV pillar
+	// plus pin capacitance per member, no wires). Leave Budget2 zero for
+	// "unbounded" (it is normalized to +Inf on AddNode).
+	Load2   float64
+	Budget2 float64
+	// X, Y / X2, Y2 are the clique's bounding box (µm): the area its
+	// members span. Merges take the union. The box bounds how much wire
+	// any member needs to reach a shared wrapper cell.
+	X, Y   float64
+	X2, Y2 float64
+
+	alive bool
+	deg   int32
+}
+
+// Alive reports whether the node still exists (not merged away).
+func (n *Node) Alive() bool { return n.alive }
+
+// Degree returns the current number of incident edges.
+func (n *Node) Degree() int { return int(n.deg) }
+
+// Graph is a mutable sharing graph. Edges carry a quality tag: clean
+// edges (non-overlapping cones) and overlap edges (admitted under
+// testability thresholds). The partitioner consumes clean edges first —
+// overlap edges only expand the solution space once no clean option
+// remains, so admitting them can never fragment the clean solution.
+type Graph struct {
+	nodes []Node
+	adj   [][]uint64 // all edges
+	clean [][]uint64 // subset: non-overlap edges
+	words int        // words per adjacency row (fixed capacity)
+	cap   int        // max node ids
+	edges int
+}
+
+// New creates a graph able to hold up to initialNodes original nodes plus
+// all merge products (capacity 2×initialNodes).
+func New(initialNodes int) *Graph {
+	capIDs := 2*initialNodes + 1
+	return &Graph{
+		words: (capIDs + 63) / 64,
+		cap:   capIDs,
+	}
+}
+
+// NumAlive returns the number of live nodes.
+func (g *Graph) NumAlive() int {
+	c := 0
+	for i := range g.nodes {
+		if g.nodes[i].alive {
+			c++
+		}
+	}
+	return c
+}
+
+// NumEdges returns the current number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Node returns the node by id; the pointer is valid until the next AddNode
+// or Merge.
+func (g *Graph) Node(id int) *Node { return &g.nodes[id] }
+
+// AddNode inserts a node and returns its id.
+func (g *Graph) AddNode(n Node) (int, error) {
+	if len(g.nodes) >= g.cap {
+		return -1, fmt.Errorf("wcmgraph: node capacity %d exhausted", g.cap)
+	}
+	if n.Budget2 == 0 {
+		n.Budget2 = math.Inf(1)
+	}
+	if n.X2 < n.X {
+		n.X2 = n.X
+	}
+	if n.Y2 < n.Y {
+		n.Y2 = n.Y
+	}
+	n.alive = true
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	g.adj = append(g.adj, make([]uint64, g.words))
+	g.clean = append(g.clean, make([]uint64, g.words))
+	return id, nil
+}
+
+// HasEdge reports whether a and b are adjacent.
+func (g *Graph) HasEdge(a, b int) bool {
+	return g.adj[a][b>>6]&(1<<(uint(b)&63)) != 0
+}
+
+// AddEdge connects a and b with a clean edge (idempotent; self-loops
+// rejected).
+func (g *Graph) AddEdge(a, b int) { g.addEdge(a, b, false) }
+
+// AddOverlapEdge connects a and b with an overlap-quality edge.
+func (g *Graph) AddOverlapEdge(a, b int) { g.addEdge(a, b, true) }
+
+func (g *Graph) addEdge(a, b int, overlap bool) {
+	if a == b || g.HasEdge(a, b) {
+		return
+	}
+	g.adj[a][b>>6] |= 1 << (uint(b) & 63)
+	g.adj[b][a>>6] |= 1 << (uint(a) & 63)
+	g.nodes[a].deg++
+	g.nodes[b].deg++
+	g.edges++
+	if !overlap {
+		g.clean[a][b>>6] |= 1 << (uint(b) & 63)
+		g.clean[b][a>>6] |= 1 << (uint(a) & 63)
+		g.nodes[a].cleanDeg++
+		g.nodes[b].cleanDeg++
+	}
+}
+
+// DeleteEdge removes the edge between a and b if present.
+func (g *Graph) DeleteEdge(a, b int) {
+	if !g.HasEdge(a, b) {
+		return
+	}
+	g.adj[a][b>>6] &^= 1 << (uint(b) & 63)
+	g.adj[b][a>>6] &^= 1 << (uint(a) & 63)
+	g.nodes[a].deg--
+	g.nodes[b].deg--
+	g.edges--
+	if g.clean[a][b>>6]&(1<<(uint(b)&63)) != 0 {
+		g.clean[a][b>>6] &^= 1 << (uint(b) & 63)
+		g.clean[b][a>>6] &^= 1 << (uint(a) & 63)
+		g.nodes[a].cleanDeg--
+		g.nodes[b].cleanDeg--
+	}
+}
+
+// Neighbors calls fn for every live neighbor of id.
+func (g *Graph) Neighbors(id int, fn func(nb int)) {
+	row := g.adj[id]
+	for wi, w := range row {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &= w - 1
+		}
+	}
+}
+
+// deleteNode removes a node and all its edges.
+func (g *Graph) deleteNode(id int) {
+	g.Neighbors(id, func(nb int) {
+		g.adj[nb][id>>6] &^= 1 << (uint(id) & 63)
+		g.nodes[nb].deg--
+		g.edges--
+		if g.clean[nb][id>>6]&(1<<(uint(id)&63)) != 0 {
+			g.clean[nb][id>>6] &^= 1 << (uint(id) & 63)
+			g.nodes[nb].cleanDeg--
+		}
+	})
+	for i := range g.adj[id] {
+		g.adj[id][i] = 0
+		g.clean[id][i] = 0
+	}
+	g.nodes[id].deg = 0
+	g.nodes[id].cleanDeg = 0
+	g.nodes[id].alive = false
+}
+
+// MinDegreePair implements the selection rule of paper Algorithm 2 — the
+// node with the smallest non-zero degree, and its smallest-degree
+// neighbor — refined along two axes that keep the greedy heuristic from
+// wasting resources:
+//
+//   - clean edges before overlap edges: overlap edges only expand the
+//     solution space once no clean option remains, so admitting them can
+//     never fragment the clean solution;
+//   - TSV-TSV merges before flip-flop attachments: the objective equals
+//     (#cliques − #flip-flops used), so a flip-flop anchoring a clique
+//     that plain TSVs could have formed by themselves is a flip-flop the
+//     other TSV set never gets. Flip-flops join once the pure-TSV merging
+//     is exhausted.
+//
+// ok is false when every node has degree zero.
+func (g *Graph) MinDegreePair() (n1, n2 int, ok bool) {
+	for _, tier := range [4]struct{ clean, noFF bool }{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	} {
+		if n1, n2, ok = g.minDegreePlane(tier.clean, tier.noFF); ok {
+			return n1, n2, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (g *Graph) minDegreePlane(cleanOnly, noFF bool) (n1, n2 int, ok bool) {
+	deg := func(i int) int32 {
+		if cleanOnly {
+			return g.nodes[i].cleanDeg
+		}
+		return g.nodes[i].deg
+	}
+	n1 = -1
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if !n.alive || deg(i) == 0 || (noFF && n.HasFF) {
+			continue
+		}
+		if n1 < 0 || deg(i) < deg(n1) {
+			n1 = i
+		}
+	}
+	if n1 < 0 {
+		return 0, 0, false
+	}
+	n2 = -1
+	g.neighborsPlane(n1, cleanOnly, func(nb int) {
+		if noFF && g.nodes[nb].HasFF {
+			return
+		}
+		if n2 < 0 || deg(nb) < deg(n2) {
+			n2 = nb
+		}
+	})
+	if n2 < 0 {
+		return 0, 0, false
+	}
+	return n1, n2, true
+}
+
+func (g *Graph) neighborsPlane(id int, cleanOnly bool, fn func(nb int)) {
+	row := g.adj[id]
+	if cleanOnly {
+		row = g.clean[id]
+	}
+	for wi, w := range row {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &= w - 1
+		}
+	}
+}
+
+// FirstEdgePair returns an arbitrary existing edge (the lowest-id live
+// node with non-zero degree and its first neighbor) — the ablation
+// baseline against MinDegreePair.
+func (g *Graph) FirstEdgePair() (n1, n2 int, ok bool) {
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if !n.alive || n.deg == 0 {
+			continue
+		}
+		first := -1
+		g.Neighbors(i, func(nb int) {
+			if first < 0 {
+				first = nb
+			}
+		})
+		if first >= 0 {
+			return i, first, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Merge combines adjacent nodes a and b into a new clique node whose
+// neighbors are the common neighbors of a and b (preserving the clique
+// invariant), then deletes a and b. The caller supplies the merged load;
+// position and budget combine automatically.
+func (g *Graph) Merge(a, b int, mergedLoad float64) (int, error) {
+	if !g.HasEdge(a, b) {
+		return -1, fmt.Errorf("wcmgraph: merge of non-adjacent %d, %d", a, b)
+	}
+	na, nb := &g.nodes[a], &g.nodes[b]
+	merged := Node{
+		HasFF:   na.HasFF || nb.HasFF,
+		Load:    mergedLoad,
+		Budget:  minF(na.Budget, nb.Budget),
+		Load2:   na.Load2 + nb.Load2,
+		Budget2: minF(na.Budget2, nb.Budget2),
+		Members: append(append([]int32(nil), na.Members...), nb.Members...),
+	}
+	switch {
+	case na.HasFF:
+		merged.FF = na.FF
+	case nb.HasFF:
+		merged.FF = nb.FF
+	}
+	merged.X = math.Min(na.X, nb.X)
+	merged.Y = math.Min(na.Y, nb.Y)
+	merged.X2 = math.Max(na.X2, nb.X2)
+	merged.Y2 = math.Max(na.Y2, nb.Y2)
+
+	id, err := g.AddNode(merged)
+	if err != nil {
+		return -1, err
+	}
+	// Common neighbors: intersection of the two adjacency rows, on both
+	// planes. A merged clique's clean edge to nc requires BOTH members'
+	// edges to nc to be clean; otherwise the surviving edge is overlap
+	// quality.
+	rowA, rowB := g.adj[a], g.adj[b]
+	cleanA, cleanB := g.clean[a], g.clean[b]
+	row, cleanRow := g.adj[id], g.clean[id]
+	newDeg, newClean := int32(0), int32(0)
+	for wi := range rowA {
+		w := rowA[wi] & rowB[wi]
+		if w == 0 {
+			continue
+		}
+		row[wi] = w
+		cw := cleanA[wi] & cleanB[wi] & w
+		cleanRow[wi] = cw
+		for x := w; x != 0; x &= x - 1 {
+			nb := wi*64 + bits.TrailingZeros64(x)
+			g.adj[nb][id>>6] |= 1 << (uint(id) & 63)
+			g.nodes[nb].deg++
+			newDeg++
+			g.edges++
+		}
+		for x := cw; x != 0; x &= x - 1 {
+			nb := wi*64 + bits.TrailingZeros64(x)
+			g.clean[nb][id>>6] |= 1 << (uint(id) & 63)
+			g.nodes[nb].cleanDeg++
+			newClean++
+		}
+	}
+	g.nodes[id].deg = newDeg
+	g.nodes[id].cleanDeg = newClean
+	g.deleteNode(a)
+	g.deleteNode(b)
+	return id, nil
+}
+
+// BBoxUnionDiameter returns the Manhattan diameter of the union of two
+// nodes' bounding boxes — the worst-case wire run between any member of
+// the merged clique and a wrapper cell placed inside the box.
+func BBoxUnionDiameter(a, b *Node) float64 {
+	x1 := math.Min(a.X, b.X)
+	y1 := math.Min(a.Y, b.Y)
+	x2 := math.Max(a.X2, b.X2)
+	y2 := math.Max(a.Y2, b.Y2)
+	return (x2 - x1) + (y2 - y1)
+}
+
+// Cliques returns the live nodes — after partitioning completes, each is
+// one clique of the solution.
+func (g *Graph) Cliques() []int {
+	var out []int
+	for i := range g.nodes {
+		if g.nodes[i].alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

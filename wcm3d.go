@@ -1,0 +1,363 @@
+// Package wcm3d is a Go implementation of timing-aware wrapper-cell
+// minimization for pre-bond testing of 3D-ICs (Ho, Chen, Wu, Hwang —
+// SOCC 2019), together with every substrate the flow needs: a gate-level
+// netlist model with an ISCAS-style text format, an ITC'99-profiled
+// synthetic benchmark generator, placement, static timing analysis, fault
+// models, bit-parallel fault simulation, PODEM test generation, and a DFT
+// editor that materializes wrapper plans as netlist edits.
+//
+// # The problem
+//
+// Before dies are bonded, through-silicon vias (TSVs) float: an inbound
+// TSV (a die input) cannot be controlled by the tester and an outbound TSV
+// (a die output) cannot be observed. Dedicated wrapper cells at every TSV
+// restore testability at a large area cost. This library minimizes that
+// cost by reusing existing scan flip-flops as wrapper cells and by letting
+// several TSVs share one cell, solved as heuristic clique partitioning
+// over a sharing graph — with a placement-accurate timing model so reuse
+// never breaks the die's clock, and with testability-bounded sharing
+// between overlapping logic cones.
+//
+// # Quick start
+//
+//	die, _ := wcm3d.PrepareDie(wcm3d.ITC99Profiles()[4], 1)
+//	res, _ := wcm3d.Minimize(die, wcm3d.MethodOurs, wcm3d.TightTiming)
+//	fmt.Println(res.ReusedFFs, res.AdditionalCells)
+//
+// See examples/ for complete programs and cmd/tables for the harness that
+// regenerates every table and figure of the paper.
+package wcm3d
+
+import (
+	"fmt"
+	"io"
+
+	"wcm3d/internal/atpg"
+	"wcm3d/internal/cells"
+	"wcm3d/internal/diagnose"
+	"wcm3d/internal/experiments"
+	"wcm3d/internal/faults"
+	"wcm3d/internal/faultsim"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/partition"
+	"wcm3d/internal/place"
+	"wcm3d/internal/scan"
+	"wcm3d/internal/sta"
+	"wcm3d/internal/wcm"
+	"wcm3d/internal/wcm/li"
+)
+
+// Core data types, re-exported for API users. The internal packages carry
+// the full documentation.
+type (
+	// Netlist is a gate-level die (see internal/netlist).
+	Netlist = netlist.Netlist
+	// SignalID identifies a signal by its driving gate.
+	SignalID = netlist.SignalID
+	// Profile describes one benchmark die (Table II counters).
+	Profile = netgen.Profile
+	// Die is a prepared benchmark die: generated, placed, timed, with
+	// fault universes enumerated.
+	Die = experiments.Die
+	// Library is the technology characterization used by timing.
+	Library = cells.Library
+	// Placement holds physical coordinates for a die.
+	Placement = place.Placement
+	// TimingResult is a static timing analysis.
+	TimingResult = sta.Result
+	// Assignment is a wrapper plan: which flip-flop or dedicated cell
+	// covers which TSVs.
+	Assignment = scan.Assignment
+	// MinimizeResult is the outcome of a wrapper-cell minimization run.
+	MinimizeResult = wcm.Result
+	// MinimizeOptions is the full knob set of the WCM engine.
+	MinimizeOptions = wcm.Options
+	// Testability is an ATPG outcome (coverage, pattern count).
+	Testability = experiments.Testability
+	// Fault is a single stuck-at fault.
+	Fault = faults.Fault
+	// TransitionFault is a transition-delay fault.
+	TransitionFault = faults.TransitionFault
+)
+
+// Method selects a wrapper-cell minimization algorithm.
+type Method uint8
+
+// Available methods.
+const (
+	// MethodOurs is the paper's contribution: larger-TSV-set-first
+	// ordering, placement-accurate timing, overlapped-cone sharing under
+	// testability thresholds.
+	MethodOurs Method = iota + 1
+	// MethodAgrawal is the TCAD'15 baseline: inbound-first,
+	// capacitance-only timing, no overlapped cones.
+	MethodAgrawal
+	// MethodLi is the ICCD'10 baseline: one flip-flop covers at most one
+	// TSV, no sharing.
+	MethodLi
+	// MethodFullWrap inserts a dedicated wrapper cell at every TSV (the
+	// pre-reuse baseline).
+	MethodFullWrap
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodOurs:
+		return "ours"
+	case MethodAgrawal:
+		return "agrawal"
+	case MethodLi:
+		return "li"
+	case MethodFullWrap:
+		return "full-wrap"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// TimingMode selects the paper's two evaluation scenarios.
+type TimingMode uint8
+
+// Timing scenarios.
+const (
+	// LooseTiming is the area-optimized scenario: no timing constraints.
+	LooseTiming TimingMode = iota + 1
+	// TightTiming is the performance-optimized scenario: thresholds
+	// derived from the die's clock margin.
+	TightTiming
+)
+
+// String names the mode.
+func (t TimingMode) String() string {
+	if t == TightTiming {
+		return "tight"
+	}
+	return "loose"
+}
+
+func (t TimingMode) scenario() experiments.Scenario {
+	return experiments.Scenario{Name: t.String(), Tight: t == TightTiming}
+}
+
+// ITC99Profiles returns the 24 benchmark die profiles of the paper's
+// Table II (six ITC'99 circuits × four dies).
+func ITC99Profiles() []Profile { return netgen.ITC99Profiles() }
+
+// CircuitProfiles returns the four die profiles of one benchmark family
+// ("b11" ... "b22"), or nil for an unknown name.
+func CircuitProfiles(name string) []Profile { return netgen.ITC99Circuit(name) }
+
+// CircuitNames returns the six benchmark family names.
+func CircuitNames() []string { return netgen.ITC99CircuitNames() }
+
+// GenerateDie synthesizes a die matching the profile exactly;
+// deterministic in (profile, seed).
+func GenerateDie(p Profile, seed int64) (*Netlist, error) {
+	return netgen.Generate(p, seed)
+}
+
+// PrepareDie generates, places and times a benchmark die, ready for
+// Minimize and the evaluation helpers.
+func PrepareDie(p Profile, seed int64) (*Die, error) {
+	return experiments.PrepareDie(p, seed)
+}
+
+// PrepareSuite prepares dies for several profiles.
+func PrepareSuite(profiles []Profile, seed int64) ([]*Die, error) {
+	return experiments.PrepareSuite(profiles, seed)
+}
+
+// DefaultLibrary returns the generic 45 nm technology library.
+func DefaultLibrary() *Library { return cells.Default45nm() }
+
+// Minimize runs a wrapper-cell minimization method on a prepared die under
+// a timing scenario.
+func Minimize(d *Die, m Method, mode TimingMode) (*MinimizeResult, error) {
+	sc := mode.scenario()
+	switch m {
+	case MethodOurs:
+		return wcm.Run(d.Input(), experiments.OurOptions(d, sc))
+	case MethodAgrawal:
+		return wcm.Run(d.Input(), experiments.AgrawalOptions(d, sc))
+	case MethodLi:
+		capTh := experiments.AgrawalOptions(d, sc).CapThFF
+		return li.Run(d.Input(), capTh)
+	case MethodFullWrap:
+		asn := scan.FullWrap(d.Netlist)
+		return &wcm.Result{
+			Assignment:      asn,
+			ReusedFFs:       asn.ReusedFFs(),
+			AdditionalCells: asn.AdditionalCells(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("wcm3d: unknown method %v", m)
+	}
+}
+
+// MinimizeWith runs the WCM engine with explicit options (see
+// wcm.Options); Minimize covers the paper's standard configurations.
+func MinimizeWith(d *Die, opts MinimizeOptions) (*MinimizeResult, error) {
+	return wcm.Run(d.Input(), opts)
+}
+
+// AgrawalOptions exposes the baseline configuration for a die/scenario so
+// callers can modify single knobs (ablations).
+func AgrawalOptions(d *Die, mode TimingMode) MinimizeOptions {
+	return experiments.AgrawalOptions(d, mode.scenario())
+}
+
+// OurOptions exposes the paper's configuration for a die/scenario.
+func OurOptions(d *Die, mode TimingMode) MinimizeOptions {
+	return experiments.OurOptions(d, mode.scenario())
+}
+
+// CheckTiming reports whether the plan's physical test hardware violates
+// the die's clock, with the worst negative slack (functional signoff with
+// test_en case analysis).
+func CheckTiming(d *Die, asn *Assignment) (violation bool, wnsPS float64, err error) {
+	return experiments.CheckTiming(d, asn)
+}
+
+// ATPGBudget tunes evaluation effort.
+type ATPGBudget = experiments.ATPGBudget
+
+// DefaultBudget is the full-effort ATPG configuration.
+func DefaultBudget(seed int64) ATPGBudget { return experiments.DefaultBudget(seed) }
+
+// ReducedBudget trims ATPG effort for fast iteration.
+func ReducedBudget(seed int64) ATPGBudget { return experiments.ReducedBudget(seed) }
+
+// EvaluateStuckAt grades a wrapper plan with stuck-at ATPG against the
+// die's functional fault universe.
+func EvaluateStuckAt(d *Die, asn *Assignment, budget ATPGBudget) (Testability, error) {
+	return experiments.EvaluateStuckAt(d, asn, budget)
+}
+
+// EvaluateTransition grades a wrapper plan with transition-delay ATPG.
+func EvaluateTransition(d *Die, asn *Assignment, budget ATPGBudget) (Testability, error) {
+	return experiments.EvaluateTransition(d, asn, budget)
+}
+
+// ParseNetlist reads a die in the .bench dialect (see internal/netlist).
+func ParseNetlist(name string, r io.Reader) (*Netlist, error) {
+	return netlist.Parse(name, r)
+}
+
+// FullWrap returns the one-dedicated-cell-per-TSV plan.
+func FullWrap(n *Netlist) *Assignment { return scan.FullWrap(n) }
+
+// PrepareParsed places and times a die you built or parsed yourself,
+// producing the same prepared Die that PrepareDie yields for generated
+// benchmarks.
+func PrepareParsed(n *Netlist, seed int64) (*Die, error) {
+	return experiments.PrepareNetlist(n, seed)
+}
+
+// PartitionResult is a 3D partition of a monolithic netlist.
+type PartitionResult = partition.Result
+
+// PartitionNetlist splits a monolithic design into a power-of-two die
+// stack with min-cut (Fiduccia–Mattheyses) partitioning; cut nets become
+// TSVs. This substitutes for the 3D physical-design front end the paper
+// used on the ITC'99 circuits.
+func PartitionNetlist(n *Netlist, dies int, seed int64) (*PartitionResult, error) {
+	return partition.Partition(n, partition.Options{Dies: dies, Seed: seed})
+}
+
+// BondStack stitches partitioned dies back together — the post-bond view,
+// where TSVs are connected and stack-level test regains access.
+func BondStack(name string, dies []*Netlist) (*Netlist, error) {
+	return partition.Bond(name, dies)
+}
+
+// ChainPlan is a scan-chain stitching (see internal/scan).
+type ChainPlan = scan.ChainPlan
+
+// BuildScanChains stitches a die's scan cells (flip-flops plus the plan's
+// dedicated wrapper cells) into nChains placement-ordered chains; its
+// TestCycles method estimates tester time for a pattern count.
+func BuildScanChains(d *Die, asn *Assignment, nChains int) (*ChainPlan, error) {
+	return scan.BuildChains(d.Netlist, d.Placement, asn, nChains)
+}
+
+// Syndrome is a tester observation: which applied patterns failed.
+type Syndrome = diagnose.Syndrome
+
+// DiagnosisCandidate is one ranked defect explanation.
+type DiagnosisCandidate = diagnose.Candidate
+
+// Diagnose ranks the die's fault universe against a tester syndrome for a
+// pattern set applied to the wrapped die (ApplyTestMode view), best
+// explanation first.
+func Diagnose(d *Die, asn *Assignment, patterns []Pattern, syn *Syndrome) ([]DiagnosisCandidate, error) {
+	tn, err := scan.ApplyTestMode(d.Netlist, asn)
+	if err != nil {
+		return nil, err
+	}
+	return diagnose.Locate(tn, patterns, syn, d.StuckAt)
+}
+
+// SuspectTSVs maps ranked defect candidates onto TSV names whose test
+// paths they implicate.
+func SuspectTSVs(d *Die, asn *Assignment, ranked []DiagnosisCandidate, maxFaults int) ([]string, error) {
+	tn, err := scan.ApplyTestMode(d.Netlist, asn)
+	if err != nil {
+		return nil, err
+	}
+	return diagnose.TSVSuspects(tn, ranked, maxFaults), nil
+}
+
+// Pattern is one scan test vector.
+type Pattern = faultsim.Pattern
+
+// GeneratePatterns runs stuck-at ATPG on the wrapped die and returns the
+// pattern set and its grade — the vectors Diagnose expects back from the
+// tester.
+func GeneratePatterns(d *Die, asn *Assignment, budget ATPGBudget) ([]Pattern, Testability, error) {
+	tn, err := scan.ApplyTestMode(d.Netlist, asn)
+	if err != nil {
+		return nil, Testability{}, err
+	}
+	res, err := atpg.Run(tn, d.StuckAt, budget.Stuck)
+	if err != nil {
+		return nil, Testability{}, err
+	}
+	return res.Patterns, Testability{
+		Coverage:    res.TestCoverage(),
+		RawCoverage: res.Coverage(),
+		Patterns:    res.PatternCount(),
+	}, nil
+}
+
+// SimulateDefect plays the tester for a hypothetical defective die: it
+// applies the pattern set to the wrapped die carrying the given fault and
+// returns the syndrome (which patterns fail). Used to exercise Diagnose in
+// tests and demos, and to build fault dictionaries.
+func SimulateDefect(d *Die, asn *Assignment, f Fault, patterns []Pattern) (*Syndrome, error) {
+	tn, err := scan.ApplyTestMode(d.Netlist, asn)
+	if err != nil {
+		return nil, err
+	}
+	sim := faultsim.New(tn)
+	eng := sim.NewEngine()
+	syn := &Syndrome{Failing: make([]bool, len(patterns))}
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		good, err := sim.GoodSim(patterns[base:end])
+		if err != nil {
+			return nil, err
+		}
+		det := eng.Detects(f, good)
+		for k := 0; k < end-base; k++ {
+			if det&(1<<uint(k)) != 0 {
+				syn.Failing[base+k] = true
+			}
+		}
+	}
+	return syn, nil
+}
