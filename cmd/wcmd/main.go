@@ -1,0 +1,83 @@
+// Command wcmd is the WCM-as-a-service daemon: it serves wrapper-cell
+// minimization over HTTP/JSON, amortizing expensive die preparation across
+// requests with an LRU cache and running jobs on a bounded worker pool
+// with backpressure.
+//
+// Usage:
+//
+//	wcmd -addr :8080 -workers 8 -queue 64 -cache 16
+//
+// Quick start:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"profile":"b12/1","method":"ours","timing":"tight"}'
+//	curl -s localhost:8080/v1/jobs/j-000001
+//	curl -s localhost:8080/metrics
+//
+// See docs/SERVICE.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wcm3d/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue depth (full queue returns 429)")
+		cache   = flag.Int("cache", 16, "prepared-die LRU cache capacity")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "wcmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache int, drain time.Duration) error {
+	svc := service.New(service.Config{
+		Workers:       workers,
+		QueueDepth:    queue,
+		CacheCapacity: cache,
+	})
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("wcmd: listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("wcmd: %v — draining (deadline %s)", s, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	rep, err := svc.Shutdown(ctx)
+	log.Printf("wcmd: drained: %d done, %d failed, %d canceled", rep.Done, rep.Failed, rep.Canceled)
+	if err != nil {
+		log.Printf("wcmd: drain deadline hit: %v", err)
+	}
+	return srv.Shutdown(context.Background())
+}

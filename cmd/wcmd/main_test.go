@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadAddress(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() { errc <- run("256.256.256.256:99999", 1, 1, 1, time.Second) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("bad listen address must error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return on a bad listen address")
+	}
+}

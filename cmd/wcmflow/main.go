@@ -9,17 +9,25 @@
 //	wcmflow -netlist die.bench                  # your own die
 //	wcmflow -profile b18/2 -method agrawal -timing tight
 //	wcmflow -profile b12/1 -compare             # all methods side by side
+//	wcmflow -profile b12/1 -json                # machine-readable output
+//
+// With -json the output is an array of reports in the same schema the wcmd
+// daemon returns for job results (internal/service), so CLI and service
+// output stay in lockstep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"text/tabwriter"
 
 	"wcm3d"
+	"wcm3d/internal/service"
 )
 
 func main() {
@@ -32,25 +40,21 @@ func main() {
 		compare = flag.Bool("compare", false, "run every method and tabulate")
 		atpg    = flag.Bool("atpg", true, "run stuck-at ATPG on the result")
 		budget  = flag.String("budget", "full", "ATPG effort: full or reduced")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable report (service schema)")
 	)
 	flag.Parse()
-	if err := run(*profile, *netPath, *method, *timing, *seed, *compare, *atpg, *budget); err != nil {
+	if err := run(os.Stdout, *profile, *netPath, *method, *timing, *seed, *compare, *atpg, *budget, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "wcmflow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile, netPath, methodName, timingName string, seed int64, compare, runATPG bool, budgetName string) error {
-	die, err := loadDie(profile, netPath, seed)
+func run(w io.Writer, profile, netPath, methodName, timingName string, seed int64, compare, runATPG bool, budgetName string, asJSON bool) error {
+	die, name, err := loadDie(profile, netPath, seed)
 	if err != nil {
 		return err
 	}
-	st := dieStats(die)
-	fmt.Printf("die %s: %s\n", die.Profile.Name(), st)
-	fmt.Printf("clock %.1f ps (margin %.1f ps), placement %.0fx%.0f µm\n\n",
-		die.ClockPS, die.MarginPS, die.Placement.Width, die.Placement.Height)
-
-	mode, err := parseTiming(timingName)
+	mode, err := wcm3d.ParseTimingMode(timingName)
 	if err != nil {
 		return err
 	}
@@ -64,111 +68,108 @@ func run(profile, netPath, methodName, timingName string, seed int64, compare, r
 		return fmt.Errorf("unknown budget %q", budgetName)
 	}
 
-	methods := []wcm3d.Method{wcm3d.MethodOurs}
+	var methods []wcm3d.Method
 	if compare {
 		methods = []wcm3d.Method{wcm3d.MethodFullWrap, wcm3d.MethodLi, wcm3d.MethodAgrawal, wcm3d.MethodOurs}
 	} else {
-		m, err := parseMethod(methodName)
+		m, err := wcm3d.ParseMethod(methodName)
 		if err != nil {
 			return err
 		}
 		methods = []wcm3d.Method{m}
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\treused FFs\tadded cells\tDFT area (µm²)\ttiming\tWNS (ps)\tstuck-at cov\t#patterns\ttest cycles")
+	info := service.DescribeDie(name, seed, die)
+	var reports []*service.Report
 	for _, m := range methods {
 		res, err := wcm3d.Minimize(die, m, mode)
 		if err != nil {
 			return fmt.Errorf("%v: %w", m, err)
 		}
+		rep := service.EncodeResult(info, m, mode, res, die.Lib)
 		viol, wns, err := wcm3d.CheckTiming(die, res.Assignment)
 		if err != nil {
 			return err
 		}
-		timingMark := "meets"
-		if viol {
-			timingMark = "VIOLATES"
-		}
-		cov, pats, cycles := "-", "-", "-"
+		rep.SetSignoff(viol, wns)
 		if runATPG {
 			tb, err := wcm3d.EvaluateStuckAt(die, res.Assignment, bud)
 			if err != nil {
 				return err
 			}
-			cov = fmt.Sprintf("%.2f%%", 100*tb.Coverage)
-			pats = strconv.Itoa(tb.Patterns)
 			// Tester time under a 4-chain scan architecture.
 			chains, err := wcm3d.BuildScanChains(die, res.Assignment, 4)
 			if err != nil {
 				return err
 			}
-			cycles = strconv.Itoa(chains.TestCycles(tb.Patterns))
+			rep.SetStuckAt(tb, chains.TestCycles(tb.Patterns))
 		}
-		fmt.Fprintf(tw, "%v\t%d\t%d\t%.1f\t%s\t%.1f\t%s\t%s\t%s\n",
-			m, res.ReusedFFs, res.AdditionalCells, res.AreaUM2(wcm3d.DefaultLibrary()),
-			timingMark, wns, cov, pats, cycles)
+		reports = append(reports, rep)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return renderText(w, die, info, reports)
+}
+
+func renderText(w io.Writer, die *wcm3d.Die, info service.DieInfo, reports []*service.Report) error {
+	fmt.Fprintf(w, "die %s: %s\n", info.Name, dieStats(die))
+	fmt.Fprintf(w, "clock %.1f ps (margin %.1f ps), placement %.0fx%.0f µm\n\n",
+		info.ClockPS, info.MarginPS, info.WidthUM, info.HeightUM)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\treused FFs\tadded cells\tDFT area (µm²)\ttiming\tWNS (ps)\tstuck-at cov\t#patterns\ttest cycles")
+	for _, rep := range reports {
+		timingMark := "meets"
+		if !rep.TimingMet {
+			timingMark = "VIOLATES"
+		}
+		cov, pats, cycles := "-", "-", "-"
+		if rep.StuckAt != nil {
+			cov = fmt.Sprintf("%.2f%%", 100*rep.StuckAt.Coverage)
+			pats = strconv.Itoa(rep.StuckAt.Patterns)
+			cycles = strconv.Itoa(rep.TestCycles)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%s\t%.1f\t%s\t%s\t%s\n",
+			rep.Method, rep.ReusedFFs, rep.AdditionalCells, rep.DFTAreaUM2,
+			timingMark, rep.WNSPS, cov, pats, cycles)
 	}
 	return tw.Flush()
 }
 
-func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, error) {
+func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, string, error) {
 	switch {
 	case profile != "":
-		parts := strings.Split(profile, "/")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("profile must look like b12/1, got %q", profile)
-		}
-		idx, err := strconv.Atoi(strings.TrimPrefix(parts[1], "Die"))
+		p, err := wcm3d.ProfileByName(profile)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		ps := wcm3d.CircuitProfiles(parts[0])
-		if ps == nil || idx < 0 || idx >= len(ps) {
-			return nil, fmt.Errorf("no profile %q", profile)
+		d, err := wcm3d.PrepareDie(p, seed)
+		if err != nil {
+			return nil, "", err
 		}
-		return wcm3d.PrepareDie(ps[idx], seed)
+		return d, p.Name(), nil
 	case netPath != "":
 		f, err := os.Open(netPath)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		defer f.Close()
-		n, err := wcm3d.ParseNetlist(strings.TrimSuffix(netPath, ".bench"), f)
+		name := strings.TrimSuffix(netPath, ".bench")
+		n, err := wcm3d.ParseNetlist(name, f)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		// Wrap the parsed die in a synthetic profile so the standard
 		// preparation (placement, clocking, fault universes) applies.
-		return wcm3d.PrepareParsed(n, seed)
+		d, err := wcm3d.PrepareParsed(n, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, name, nil
 	default:
-		return nil, fmt.Errorf("pass -profile or -netlist")
-	}
-}
-
-func parseMethod(s string) (wcm3d.Method, error) {
-	switch strings.ToLower(s) {
-	case "ours":
-		return wcm3d.MethodOurs, nil
-	case "agrawal":
-		return wcm3d.MethodAgrawal, nil
-	case "li":
-		return wcm3d.MethodLi, nil
-	case "fullwrap", "full-wrap":
-		return wcm3d.MethodFullWrap, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
-	}
-}
-
-func parseTiming(s string) (wcm3d.TimingMode, error) {
-	switch strings.ToLower(s) {
-	case "tight":
-		return wcm3d.TightTiming, nil
-	case "loose":
-		return wcm3d.LooseTiming, nil
-	default:
-		return 0, fmt.Errorf("unknown timing mode %q", s)
+		return nil, "", fmt.Errorf("pass -profile or -netlist")
 	}
 }
 

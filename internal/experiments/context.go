@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -222,8 +223,18 @@ func PrepareNetlist(n *netlist.Netlist, seed int64) (*Die, error) {
 // PrepareSuite prepares dies for all given profiles, in parallel (each die
 // is independent).
 func PrepareSuite(profiles []netgen.Profile, seed int64) ([]*Die, error) {
+	return PrepareSuiteContext(context.Background(), profiles, seed)
+}
+
+// PrepareSuiteContext is PrepareSuite under a caller-owned context: a
+// failed or cancelled die aborts the remaining queued preparations instead
+// of running the suite to completion.
+func PrepareSuiteContext(ctx context.Context, profiles []netgen.Profile, seed int64) ([]*Die, error) {
 	dies := make([]*Die, len(profiles))
-	err := forEachIndex(len(profiles), func(i int) error {
+	err := forEachIndex(ctx, len(profiles), func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		d, err := PrepareDie(profiles[i], seed)
 		if err != nil {
 			return fmt.Errorf("experiments: preparing %s: %w", profiles[i].Name(), err)

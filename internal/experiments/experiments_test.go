@@ -226,48 +226,6 @@ func TestCheckTimingDetectsSabotage(t *testing.T) {
 	}
 }
 
-func TestForEachIndexErrorAndPanic(t *testing.T) {
-	// Errors surface deterministically by index order.
-	err := forEachIndex(8, func(i int) error {
-		if i == 3 || i == 6 {
-			return errIndexed(i)
-		}
-		return nil
-	})
-	if err == nil || err.Error() != "item 3" {
-		t.Errorf("err = %v, want item 3", err)
-	}
-	// Panics become errors instead of killing the process.
-	err = forEachIndex(4, func(i int) error {
-		if i == 2 {
-			panic("boom")
-		}
-		return nil
-	})
-	if err == nil {
-		t.Error("worker panic must surface as an error")
-	}
-}
-
-type errIndexed int
-
-func (e errIndexed) Error() string { return "item " + string(rune('0'+int(e))) }
-
-func TestForEachIndexRunsAll(t *testing.T) {
-	hit := make([]bool, 37)
-	if err := forEachIndex(len(hit), func(i int) error {
-		hit[i] = true
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	for i, h := range hit {
-		if !h {
-			t.Fatalf("index %d skipped", i)
-		}
-	}
-}
-
 func TestFlowDeterminism(t *testing.T) {
 	// Two complete runs of the flow (prepare → minimize → evaluate) must
 	// agree bit-for-bit — the tables in results/ depend on it.

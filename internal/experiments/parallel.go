@@ -1,31 +1,48 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
-// forEachIndex runs fn(i) for i in [0, n) across a bounded worker pool and
-// returns the first error (by index order, so failures are deterministic).
-// Every experiment in this package is embarrassingly parallel across dies:
-// each die owns its netlist, placement and timing, and rows are written to
-// disjoint indices.
-func forEachIndex(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// forEachIndex runs fn(ctx, i) for i in [0, n) across a bounded worker pool
+// and returns the first error (by index order, so failures are
+// deterministic). Every experiment in this package is embarrassingly
+// parallel across dies: each die owns its netlist, placement and timing,
+// and rows are written to disjoint indices.
+//
+// The first failure — or cancellation of ctx — aborts the remaining queued
+// work: items not yet handed to a worker are skipped instead of running the
+// suite to completion. Items already in flight see the cancellation through
+// the context passed to fn and may bail early themselves; their
+// context.Canceled returns never shadow the root-cause error of a later
+// index.
+func forEachIndex(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
 	call := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("experiments: worker panic on item %d: %v", i, r)
 			}
 		}()
-		return fn(i)
+		return fn(inner, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := inner.Err(); err != nil {
+				return err
+			}
 			if err := call(i); err != nil {
 				return err
 			}
@@ -40,19 +57,42 @@ func forEachIndex(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = call(i)
+				// A dispatched item always runs (its error wins over any
+				// later-index failure); only undispatched work is skipped.
+				if err := call(i); err != nil {
+					errs[i] = err
+					cancel()
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-inner.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	// First error by index — but an fn that observed our own abort and
+	// returned the context error must not shadow the real failure that
+	// triggered it at a later index.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		default:
 			return err
 		}
 	}
-	return nil
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return ctxErr
 }

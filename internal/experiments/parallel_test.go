@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return "item " + string(rune('0'+int(e))) }
+
+func TestForEachIndexErrorAndPanic(t *testing.T) {
+	// Errors surface deterministically by index order.
+	err := forEachIndex(context.Background(), 8, func(_ context.Context, i int) error {
+		if i == 3 || i == 6 {
+			return errIndexed(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 3" {
+		t.Errorf("err = %v, want item 3", err)
+	}
+	// Panics become errors instead of killing the process.
+	err = forEachIndex(context.Background(), 4, func(_ context.Context, i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("worker panic must surface as an error")
+	}
+}
+
+func TestForEachIndexRunsAll(t *testing.T) {
+	hit := make([]bool, 37)
+	if err := forEachIndex(context.Background(), len(hit), func(_ context.Context, i int) error {
+		hit[i] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("index %d skipped", i)
+		}
+	}
+}
+
+func TestForEachIndexDeterministicUnderConcurrentFailures(t *testing.T) {
+	// Many rounds, many simultaneous failures: the reported error must be
+	// the lowest-index one every time, regardless of completion order.
+	for round := 0; round < 50; round++ {
+		err := forEachIndex(context.Background(), 16, func(_ context.Context, i int) error {
+			if i >= 2 {
+				return errIndexed(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 2" {
+			t.Fatalf("round %d: err = %v, want item 2", round, err)
+		}
+	}
+}
+
+func TestForEachIndexErrorAbortsQueuedWork(t *testing.T) {
+	// Force the serial path so the abort point is exact: after the failure
+	// at index 10, no further item may run.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var ran atomic.Int64
+	err := forEachIndex(context.Background(), 100, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return errIndexed(0)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 11 {
+		t.Errorf("ran %d items, want 11 (failure must abort queued work)", got)
+	}
+}
+
+func TestForEachIndexParentCancellation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := forEachIndex(ctx, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Errorf("ran %d items, want 6 (cancellation must abort queued work)", got)
+	}
+	// A context cancelled before the call runs nothing at all.
+	ran.Store(0)
+	err = forEachIndex(ctx, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || ran.Load() != 0 {
+		t.Errorf("pre-cancelled ctx: err = %v, ran = %d; want Canceled, 0", err, ran.Load())
+	}
+}
+
+func TestForEachIndexCancellationDoesNotShadowRootCause(t *testing.T) {
+	// Workers that observe the internal abort and return the context error
+	// sit at LOWER indices than the real failure; the real failure must
+	// still be the one reported.
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 workers")
+	}
+	n := runtime.GOMAXPROCS(0)
+	err := forEachIndex(context.Background(), n, func(ctx context.Context, i int) error {
+		if i == n-1 {
+			return errors.New("root cause")
+		}
+		<-ctx.Done() // park until the abort fans out
+		return ctx.Err()
+	})
+	if err == nil || err.Error() != "root cause" {
+		t.Errorf("err = %v, want root cause", err)
+	}
+}

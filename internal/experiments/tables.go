@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -141,7 +142,7 @@ type Table3Row struct {
 // dies.
 func Table3(dies []*Die) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(dies))
-	err := forEachIndex(len(dies), func(di int) error {
+	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		row := Table3Row{Die: d.Profile.Name()}
 		type cfg struct {
@@ -282,7 +283,7 @@ type Table4Row struct {
 func Table4(dies []*Die, budget ATPGBudget) ([]Table4Row, error) {
 	tight := Scenario{Name: "performance-optimized", Tight: true}
 	rows := make([]Table4Row, len(dies))
-	err := forEachIndex(len(dies), func(di int) error {
+	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		row := Table4Row{Die: d.Profile.Name()}
 		agr, err := wcm.Run(d.Input(), AgrawalOptions(d, tight))
@@ -354,7 +355,7 @@ type Table5Row struct {
 func Table5(dies []*Die, budget ATPGBudget) ([]Table5Row, error) {
 	tight := Scenario{Name: "performance-optimized", Tight: true}
 	rows := make([]Table5Row, len(dies))
-	err := forEachIndex(len(dies), func(di int) error {
+	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		row := Table5Row{Die: d.Profile.Name()}
 		for _, allow := range []bool{false, true} {
@@ -426,7 +427,7 @@ type Figure7Row struct {
 func Figure7(dies []*Die) ([]Figure7Row, error) {
 	tight := Scenario{Name: "performance-optimized", Tight: true}
 	rows := make([]Figure7Row, len(dies))
-	err := forEachIndex(len(dies), func(di int) error {
+	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		var edges [2]int
 		for i, allow := range []bool{false, true} {

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"wcm3d"
+)
+
+// DieKey identifies a prepared die in the cache: the profile name (or a
+// content hash for inline netlists) plus the generation seed.
+type DieKey struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+}
+
+// dieCache is an LRU cache of prepared dies with single-flight
+// deduplication: concurrent requests for the same key trigger exactly one
+// preparation, with latecomers parking on the in-flight entry. Preparation
+// failures are not cached — the entry is removed so a later request
+// retries.
+type dieCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[DieKey]*list.Element
+	order    *list.List // front = most recently used
+	metrics  *Metrics
+}
+
+type cacheEntry struct {
+	key   DieKey
+	ready chan struct{} // closed once die/err are set
+	die   *wcm3d.Die
+	err   error
+}
+
+func newDieCache(capacity int, m *Metrics) *dieCache {
+	return &dieCache{
+		capacity: capacity,
+		entries:  make(map[DieKey]*list.Element),
+		order:    list.New(),
+		metrics:  m,
+	}
+}
+
+// get returns the cached die for key, preparing it with prepare on a miss.
+// A waiter whose ctx is cancelled stops waiting; the preparation itself
+// keeps running for whoever else wants the entry.
+func (c *dieCache) get(ctx context.Context, key DieKey, prepare func(context.Context) (*wcm3d.Die, error)) (*wcm3d.Die, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.metrics.CacheHits.Add(1)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.die, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c.metrics.CacheMisses.Add(1)
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.entries[key] = el
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.die, e.err = prepare(ctx)
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.die, e.err
+}
+
+// evictLocked drops least-recently-used *completed* entries until the cache
+// fits its capacity. In-flight entries are never evicted (their waiters
+// hold them); if everything is in flight the cache temporarily overshoots.
+func (c *dieCache) evictLocked() {
+	for c.order.Len() > c.capacity {
+		var victim *list.Element
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			select {
+			case <-e.ready:
+				victim = el
+			default:
+				continue
+			}
+			break
+		}
+		if victim == nil {
+			return
+		}
+		e := victim.Value.(*cacheEntry)
+		c.order.Remove(victim)
+		delete(c.entries, e.key)
+		c.metrics.CacheEvictions.Add(1)
+	}
+}
+
+// len reports the number of entries (including in-flight ones).
+func (c *dieCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// snapshot lists the successfully prepared dies, most recently used first.
+func (c *dieCache) snapshot() []DieInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DieInfo, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, DescribeDie(e.key.Name, e.key.Seed, e.die))
+			}
+		default:
+		}
+	}
+	return out
+}

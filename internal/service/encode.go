@@ -1,0 +1,126 @@
+// Package service implements wcmd, the WCM-as-a-service daemon: a bounded
+// job queue and worker pool over the wcm3d library, an LRU cache of
+// prepared dies with single-flight deduplication, an HTTP/JSON API
+// (POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/dies, GET /healthz,
+// GET /metrics), and the machine-readable result schema shared with the
+// CLIs (cmd/wcmflow -json).
+package service
+
+import (
+	"wcm3d"
+)
+
+// DieInfo is the JSON description of a prepared die, used both in Reports
+// and by GET /v1/dies.
+type DieInfo struct {
+	Name         string  `json:"name"`
+	Seed         int64   `json:"seed"`
+	ScanFFs      int     `json:"scan_ffs"`
+	LogicGates   int     `json:"logic_gates"`
+	InboundTSVs  int     `json:"inbound_tsvs"`
+	OutboundTSVs int     `json:"outbound_tsvs"`
+	ClockPS      float64 `json:"clock_ps"`
+	MarginPS     float64 `json:"margin_ps"`
+	WidthUM      float64 `json:"width_um"`
+	HeightUM     float64 `json:"height_um"`
+}
+
+// DescribeDie summarizes a prepared die under its cache/display name.
+func DescribeDie(name string, seed int64, d *wcm3d.Die) DieInfo {
+	return DieInfo{
+		Name:         name,
+		Seed:         seed,
+		ScanFFs:      len(d.Netlist.FlipFlops()),
+		LogicGates:   d.Netlist.NumLogicGates(),
+		InboundTSVs:  len(d.Netlist.InboundTSVs()),
+		OutboundTSVs: len(d.Netlist.OutboundTSVs()),
+		ClockPS:      d.ClockPS,
+		MarginPS:     d.MarginPS,
+		WidthUM:      d.Placement.Width,
+		HeightUM:     d.Placement.Height,
+	}
+}
+
+// TestabilityReport is the JSON form of an ATPG outcome.
+type TestabilityReport struct {
+	Coverage    float64 `json:"coverage"`
+	RawCoverage float64 `json:"raw_coverage"`
+	Patterns    int     `json:"patterns"`
+}
+
+// EncodeTestability converts an ATPG outcome to its JSON form.
+func EncodeTestability(tb wcm3d.Testability) TestabilityReport {
+	return TestabilityReport{
+		Coverage:    tb.Coverage,
+		RawCoverage: tb.RawCoverage,
+		Patterns:    tb.Patterns,
+	}
+}
+
+// PhaseReport is the JSON form of one solver phase's graph statistics.
+type PhaseReport struct {
+	Inbound      bool `json:"inbound"`
+	Nodes        int  `json:"nodes"`
+	Edges        int  `json:"edges"`
+	OverlapEdges int  `json:"overlap_edges"`
+	FilteredTSVs int  `json:"filtered_tsvs"`
+	Cliques      int  `json:"cliques"`
+}
+
+// Report is the machine-readable outcome of one minimization run — the
+// schema shared by the wcmd daemon's job results and cmd/wcmflow -json, so
+// CLI and service output stay in lockstep.
+type Report struct {
+	Die             DieInfo            `json:"die"`
+	Method          string             `json:"method"`
+	Timing          string             `json:"timing"`
+	ReusedFFs       int                `json:"reused_ffs"`
+	AdditionalCells int                `json:"additional_cells"`
+	DFTAreaUM2      float64            `json:"dft_area_um2"`
+	Phases          []PhaseReport      `json:"phases,omitempty"`
+	TimingMet       bool               `json:"timing_met"`
+	WNSPS           float64            `json:"wns_ps"`
+	StuckAt         *TestabilityReport `json:"stuck_at,omitempty"`
+	TestCycles      int                `json:"test_cycles,omitempty"`
+}
+
+// EncodeResult builds the Report for a minimization outcome on a die. The
+// timing-signoff and ATPG sections start empty; fill them with SetSignoff
+// and SetStuckAt as those stages run.
+func EncodeResult(die DieInfo, m wcm3d.Method, mode wcm3d.TimingMode, res *wcm3d.MinimizeResult, lib *wcm3d.Library) *Report {
+	r := &Report{
+		Die:             die,
+		Method:          m.String(),
+		Timing:          mode.String(),
+		ReusedFFs:       res.ReusedFFs,
+		AdditionalCells: res.AdditionalCells,
+		DFTAreaUM2:      res.AreaUM2(lib),
+	}
+	for _, p := range res.Phases {
+		r.Phases = append(r.Phases, PhaseReport{
+			Inbound:      p.Inbound,
+			Nodes:        p.Nodes,
+			Edges:        p.Edges,
+			OverlapEdges: p.OverlapEdges,
+			FilteredTSVs: p.FilteredTSVs,
+			Cliques:      p.Cliques,
+		})
+	}
+	return r
+}
+
+// SetSignoff records the functional-mode timing check.
+func (r *Report) SetSignoff(violation bool, wnsPS float64) {
+	r.TimingMet = !violation
+	r.WNSPS = wnsPS
+}
+
+// SetStuckAt records the stuck-at ATPG grade and the tester-time estimate
+// (testCycles <= 0 omits the estimate).
+func (r *Report) SetStuckAt(tb wcm3d.Testability, testCycles int) {
+	enc := EncodeTestability(tb)
+	r.StuckAt = &enc
+	if testCycles > 0 {
+		r.TestCycles = testCycles
+	}
+}

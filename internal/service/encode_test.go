@@ -1,0 +1,61 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wcm3d"
+)
+
+func TestEncodeResultRoundTrip(t *testing.T) {
+	die := sharedDie(t)
+	res, err := wcm3d.Minimize(die, wcm3d.MethodOurs, wcm3d.TightTiming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := DescribeDie("b11/Die0", 1, die)
+	if info.ScanFFs != len(die.Netlist.FlipFlops()) || info.ClockPS != die.ClockPS || info.WidthUM <= 0 {
+		t.Errorf("DescribeDie = %+v", info)
+	}
+	rep := EncodeResult(info, wcm3d.MethodOurs, wcm3d.TightTiming, res, die.Lib)
+	if rep.Method != "ours" || rep.Timing != "tight" {
+		t.Errorf("header = %q/%q", rep.Method, rep.Timing)
+	}
+	if rep.ReusedFFs != res.ReusedFFs || rep.AdditionalCells != res.AdditionalCells {
+		t.Errorf("counts = %d/%d, want %d/%d", rep.ReusedFFs, rep.AdditionalCells, res.ReusedFFs, res.AdditionalCells)
+	}
+	if rep.DFTAreaUM2 != res.AreaUM2(die.Lib) || rep.DFTAreaUM2 <= 0 {
+		t.Errorf("area = %v", rep.DFTAreaUM2)
+	}
+	if len(rep.Phases) != len(res.Phases) {
+		t.Errorf("phases = %d, want %d", len(rep.Phases), len(res.Phases))
+	}
+	rep.SetSignoff(false, 12.5)
+	rep.SetStuckAt(wcm3d.Testability{Coverage: 0.97, RawCoverage: 0.95, Patterns: 42}, 1234)
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.TimingMet || back.WNSPS != 12.5 {
+		t.Errorf("signoff lost in round trip: %+v", back)
+	}
+	if back.StuckAt == nil || back.StuckAt.Patterns != 42 || back.TestCycles != 1234 {
+		t.Errorf("ATPG lost in round trip: %+v", back.StuckAt)
+	}
+	if back.Die != rep.Die {
+		t.Errorf("die info lost in round trip: %+v != %+v", back.Die, rep.Die)
+	}
+}
+
+func TestSetStuckAtOmitsNonPositiveCycles(t *testing.T) {
+	var rep Report
+	rep.SetStuckAt(wcm3d.Testability{Coverage: 1}, 0)
+	if rep.TestCycles != 0 {
+		t.Errorf("TestCycles = %d, want 0", rep.TestCycles)
+	}
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the daemon's expvar-style counters and per-stage latency
+// histograms. All fields are safe for concurrent use; Snapshot produces the
+// JSON document served at GET /metrics.
+type Metrics struct {
+	// Monotonic job counters. Queued counts every accepted submission;
+	// Rejected counts submissions bounced by backpressure (HTTP 429).
+	JobsQueued   atomic.Int64
+	JobsDone     atomic.Int64
+	JobsFailed   atomic.Int64
+	JobsCanceled atomic.Int64
+	JobsRejected atomic.Int64
+	// JobsRunning is a gauge of jobs currently executing.
+	JobsRunning atomic.Int64
+
+	// Die-cache counters. A hit is any request served by an existing entry
+	// (including one still being prepared — the single-flight path); a
+	// miss is a request that triggered a preparation.
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+
+	stages [numStages]Histogram
+}
+
+// Stage labels one timed phase of a job's execution.
+type Stage int
+
+// The instrumented stages, in execution order.
+const (
+	StagePrepare  Stage = iota // die generation + placement + timing
+	StageMinimize              // the WCM solver
+	StageSignoff               // functional-mode timing check
+	StageATPG                  // stuck-at evaluation + chain build
+	StageTotal                 // whole job, submit-to-finish
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StagePrepare:
+		return "prepare"
+	case StageMinimize:
+		return "minimize"
+	case StageSignoff:
+		return "signoff"
+	case StageATPG:
+		return "atpg"
+	case StageTotal:
+		return "total"
+	default:
+		return "unknown"
+	}
+}
+
+// Observe records a stage latency.
+func (m *Metrics) Observe(s Stage, d time.Duration) {
+	if s >= 0 && s < numStages {
+		m.stages[s].Observe(d)
+	}
+}
+
+// latencyBucketsMS are the histogram upper bounds, in milliseconds; a final
+// implicit +Inf bucket catches the rest.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters.
+type Histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64
+	count  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(d.Microseconds())
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMS   float64          `json:"sum_ms"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket; LeMS <= 0 marks the
+// overflow (+Inf) bucket.
+type BucketSnapshot struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumMS: float64(h.sumUS.Load()) / 1000,
+	}
+	if s.Count == 0 {
+		return s
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := BucketSnapshot{Count: cum}
+		if i < len(latencyBucketsMS) {
+			b.LeMS = latencyBucketsMS[i]
+		} else {
+			b.LeMS = -1 // +Inf
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// MetricsSnapshot is the document served at GET /metrics.
+type MetricsSnapshot struct {
+	Jobs struct {
+		Queued   int64 `json:"queued"`
+		Running  int64 `json:"running"`
+		Done     int64 `json:"done"`
+		Failed   int64 `json:"failed"`
+		Canceled int64 `json:"canceled"`
+		Rejected int64 `json:"rejected"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Entries   int   `json:"entries"`
+		Capacity  int   `json:"capacity"`
+	} `json:"cache"`
+	Queue struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+		Workers  int `json:"workers"`
+	} `json:"queue"`
+	LatencyMS map[string]HistogramSnapshot `json:"latency_ms"`
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Jobs.Queued = m.JobsQueued.Load()
+	s.Jobs.Running = m.JobsRunning.Load()
+	s.Jobs.Done = m.JobsDone.Load()
+	s.Jobs.Failed = m.JobsFailed.Load()
+	s.Jobs.Canceled = m.JobsCanceled.Load()
+	s.Jobs.Rejected = m.JobsRejected.Load()
+	s.Cache.Hits = m.CacheHits.Load()
+	s.Cache.Misses = m.CacheMisses.Load()
+	s.Cache.Evictions = m.CacheEvictions.Load()
+	s.LatencyMS = make(map[string]HistogramSnapshot, numStages)
+	for st := Stage(0); st < numStages; st++ {
+		s.LatencyMS[st.String()] = m.stages[st].snapshot()
+	}
+	return s
+}

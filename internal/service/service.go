@@ -1,0 +1,482 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wcm3d"
+)
+
+// Config tunes a Service. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a full
+	// queue rejects submissions with ErrQueueFull (default: 64).
+	QueueDepth int
+	// CacheCapacity bounds the prepared-die LRU cache (default: 16).
+	CacheCapacity int
+	// Prepare builds a die from a spec. Nil uses DefaultPrepare; tests
+	// substitute counting or blocking hooks here.
+	Prepare func(ctx context.Context, spec DieSpec) (*wcm3d.Die, error)
+}
+
+// DieSpec identifies the die a job wants prepared.
+type DieSpec struct {
+	// Profile is the Table II profile to generate (when Source is empty).
+	Profile wcm3d.Profile
+	// Source is an inline .bench netlist (alternative to Profile).
+	Source string
+	// Name is the display/cache name ("b12/Die1" or "bench:<hash>").
+	Name string
+	// Seed drives generation, placement and ATPG.
+	Seed int64
+}
+
+// DefaultPrepare is the production die builder: PrepareDie for profiles,
+// ParseNetlist + PrepareParsed for inline sources. The heavy pipeline is
+// not cancellable mid-flight, so ctx is only checked before starting.
+func DefaultPrepare(ctx context.Context, spec DieSpec) (*wcm3d.Die, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Source != "" {
+		n, err := wcm3d.ParseNetlist(spec.Name, strings.NewReader(spec.Source))
+		if err != nil {
+			return nil, err
+		}
+		return wcm3d.PrepareParsed(n, spec.Seed)
+	}
+	return wcm3d.PrepareDie(spec.Profile, spec.Seed)
+}
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	// Profile names a Table II die ("b12/1"); Netlist carries an inline
+	// .bench source instead. Exactly one must be set.
+	Profile string `json:"profile,omitempty"`
+	Netlist string `json:"netlist,omitempty"`
+	// Seed drives generation, placement and ATPG (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Method is ours | agrawal | li | fullwrap (default ours).
+	Method string `json:"method,omitempty"`
+	// Timing is tight | loose (default tight).
+	Timing string `json:"timing,omitempty"`
+	// ATPG asks for a stuck-at evaluation of the plan.
+	ATPG bool `json:"atpg,omitempty"`
+	// Budget is the ATPG effort: full | reduced (default full).
+	Budget string `json:"budget,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the JSON view of a job, returned by POST /v1/jobs and
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       string     `json:"state"`
+	Request     JobRequest `json:"request"`
+	Error       string     `json:"error,omitempty"`
+	Result      *Report    `json:"result,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+type job struct {
+	id        string
+	state     string
+	req       JobRequest
+	spec      DieSpec
+	method    wcm3d.Method
+	mode      wcm3d.TimingMode
+	budget    wcm3d.ATPGBudget
+	result    *Report
+	err       error
+	cancel    context.CancelFunc
+	submitted time.Time
+	started   *time.Time
+	finished  *time.Time
+}
+
+// DrainReport summarizes a shutdown: how the accepted jobs ended up. Jobs
+// cut off by the drain deadline are reported as canceled.
+type DrainReport struct {
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+// Service is the WCM daemon core: it validates and queues minimization
+// requests, runs them on a bounded worker pool against an LRU die cache,
+// and exposes status, health and metrics. Create with New, serve with
+// Handler, stop with Shutdown.
+type Service struct {
+	cfg     Config
+	metrics *Metrics
+	dies    *dieCache
+	pool    *pool
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	jobs   map[string]*job
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 16
+	}
+	if cfg.Prepare == nil {
+		cfg.Prepare = DefaultPrepare
+	}
+	m := &Metrics{}
+	return &Service{
+		cfg:     cfg,
+		metrics: m,
+		dies:    newDieCache(cfg.CacheCapacity, m),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+}
+
+// Metrics exposes the counters (tests assert on them).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// resolve validates a request and fills in defaults.
+func (s *Service) resolve(req JobRequest) (*job, error) {
+	j := &job{req: req}
+	switch {
+	case req.Profile != "" && req.Netlist != "":
+		return nil, errors.New("pass profile or netlist, not both")
+	case req.Profile != "":
+		p, err := wcm3d.ProfileByName(req.Profile)
+		if err != nil {
+			return nil, err
+		}
+		j.spec.Profile = p
+		j.spec.Name = p.Name()
+	case req.Netlist != "":
+		sum := sha256.Sum256([]byte(req.Netlist))
+		j.spec.Source = req.Netlist
+		j.spec.Name = "bench:" + hex.EncodeToString(sum[:6])
+	default:
+		return nil, errors.New("pass profile or netlist")
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+		j.req.Seed = 1
+	}
+	j.spec.Seed = req.Seed
+	m := req.Method
+	if m == "" {
+		m = "ours"
+	}
+	method, err := wcm3d.ParseMethod(m)
+	if err != nil {
+		return nil, err
+	}
+	j.method = method
+	tm := req.Timing
+	if tm == "" {
+		tm = "tight"
+	}
+	mode, err := wcm3d.ParseTimingMode(tm)
+	if err != nil {
+		return nil, err
+	}
+	j.mode = mode
+	switch req.Budget {
+	case "", "full":
+		j.budget = wcm3d.DefaultBudget(req.Seed)
+	case "reduced":
+		j.budget = wcm3d.ReducedBudget(req.Seed)
+	default:
+		return nil, fmt.Errorf("unknown budget %q", req.Budget)
+	}
+	return j, nil
+}
+
+// Submit validates req and queues it. It returns the queued job's status,
+// or ErrQueueFull under backpressure, ErrShuttingDown after Shutdown, and
+// plain validation errors for malformed requests.
+func (s *Service) Submit(req JobRequest) (JobStatus, error) {
+	j, err := s.resolve(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, ErrShuttingDown
+	}
+	s.seq++
+	j.id = fmt.Sprintf("j-%06d", s.seq)
+	j.state = StateQueued
+	j.submitted = time.Now()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	if err := s.pool.trySubmit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.JobsRejected.Add(1)
+		}
+		return JobStatus{}, err
+	}
+	s.metrics.JobsQueued.Add(1)
+	return s.status(j), nil
+}
+
+// Job returns the status of one job.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.status(j), true
+}
+
+// Jobs lists every known job, oldest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(js, func(a, b int) bool { return js[a].id < js[b].id })
+	out := make([]JobStatus, len(js))
+	for i, j := range js {
+		out[i] = s.status(j)
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job is marked canceled before it starts;
+// a running job's context is cancelled so it aborts at the next stage
+// boundary. It reports whether the id was known.
+func (s *Service) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		s.finishLocked(j, StateCanceled, nil, context.Canceled)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	return s.status(j), true
+}
+
+// Dies lists the cached prepared dies, most recently used first.
+func (s *Service) Dies() []DieInfo { return s.dies.snapshot() }
+
+// Healthy reports whether the service accepts work.
+func (s *Service) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// Snapshot returns the /metrics document.
+func (s *Service) Snapshot() MetricsSnapshot {
+	snap := s.metrics.snapshot()
+	snap.Cache.Entries = s.dies.len()
+	snap.Cache.Capacity = s.cfg.CacheCapacity
+	snap.Queue.Depth = s.pool.depth()
+	snap.Queue.Capacity = s.cfg.QueueDepth
+	snap.Queue.Workers = s.cfg.Workers
+	return snap
+}
+
+// Shutdown stops accepting work and drains accepted jobs. If ctx expires
+// before the drain completes, in-flight jobs are cancelled and reported as
+// canceled in the DrainReport — the partial state a supervisor logs on the
+// way down.
+func (s *Service) Shutdown(ctx context.Context) (DrainReport, error) {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.pool.shutdown(ctx)
+	var rep DrainReport
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateDone:
+			rep.Done++
+		case StateFailed:
+			rep.Failed++
+		case StateCanceled:
+			rep.Canceled++
+		case StateQueued, StateRunning:
+			// The pool has exited, so nothing will run these; account
+			// for them as canceled.
+			s.finishLocked(j, StateCanceled, nil, context.Canceled)
+			rep.Canceled++
+		}
+	}
+	s.mu.Unlock()
+	return rep, err
+}
+
+// status snapshots a job under the service lock.
+func (s *Service) status(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Request:     j.req,
+		Result:      j.result,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// finishLocked moves a job to a terminal state; callers hold s.mu.
+func (s *Service) finishLocked(j *job, state string, rep *Report, err error) {
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	j.state = state
+	j.result = rep
+	j.err = err
+	now := time.Now()
+	j.finished = &now
+	switch state {
+	case StateDone:
+		s.metrics.JobsDone.Add(1)
+	case StateFailed:
+		s.metrics.JobsFailed.Add(1)
+	case StateCanceled:
+		s.metrics.JobsCanceled.Add(1)
+	}
+}
+
+// runJob executes one job on a pool worker.
+func (s *Service) runJob(poolCtx context.Context, j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(poolCtx)
+	j.cancel = cancel
+	j.state = StateRunning
+	now := time.Now()
+	j.started = &now
+	s.mu.Unlock()
+	defer cancel()
+
+	s.metrics.JobsRunning.Add(1)
+	start := time.Now()
+	rep, err := s.execute(ctx, j)
+	s.metrics.Observe(StageTotal, time.Since(start))
+	s.metrics.JobsRunning.Add(-1)
+
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.finishLocked(j, StateDone, rep, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(j, StateCanceled, nil, err)
+	default:
+		s.finishLocked(j, StateFailed, nil, err)
+	}
+	s.mu.Unlock()
+}
+
+// execute runs the minimize pipeline, checking ctx between stages so
+// per-job cancellation and shutdown deadlines take effect at stage
+// boundaries.
+func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
+	die, err := s.dies.get(ctx, DieKey{Name: j.spec.Name, Seed: j.spec.Seed}, func(ctx context.Context) (*wcm3d.Die, error) {
+		start := time.Now()
+		d, err := s.cfg.Prepare(ctx, j.spec)
+		if err == nil {
+			s.metrics.Observe(StagePrepare, time.Since(start))
+		}
+		return d, err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prepare %s: %w", j.spec.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	res, err := wcm3d.Minimize(die, j.method, j.mode)
+	if err != nil {
+		return nil, fmt.Errorf("minimize: %w", err)
+	}
+	s.metrics.Observe(StageMinimize, time.Since(start))
+	rep := EncodeResult(DescribeDie(j.spec.Name, j.spec.Seed, die), j.method, j.mode, res, die.Lib)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	viol, wns, err := wcm3d.CheckTiming(die, res.Assignment)
+	if err != nil {
+		return nil, fmt.Errorf("signoff: %w", err)
+	}
+	s.metrics.Observe(StageSignoff, time.Since(start))
+	rep.SetSignoff(viol, wns)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if j.req.ATPG {
+		start = time.Now()
+		tb, err := wcm3d.EvaluateStuckAt(die, res.Assignment, j.budget)
+		if err != nil {
+			return nil, fmt.Errorf("atpg: %w", err)
+		}
+		chains, err := wcm3d.BuildScanChains(die, res.Assignment, 4)
+		if err != nil {
+			return nil, fmt.Errorf("scan chains: %w", err)
+		}
+		s.metrics.Observe(StageATPG, time.Since(start))
+		rep.SetStuckAt(tb, chains.TestCycles(tb.Patterns))
+	}
+	return rep, nil
+}

@@ -1,0 +1,568 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcm3d"
+)
+
+// sharedDie prepares one small real die (b11/Die0, seed 1) that every test
+// needing a prepared die reuses through a Prepare hook.
+var (
+	dieOnce sync.Once
+	dieVal  *wcm3d.Die
+	dieErr  error
+)
+
+func sharedDie(t *testing.T) *wcm3d.Die {
+	t.Helper()
+	dieOnce.Do(func() {
+		var p wcm3d.Profile
+		p, dieErr = wcm3d.ProfileByName("b11/0")
+		if dieErr != nil {
+			return
+		}
+		dieVal, dieErr = wcm3d.PrepareDie(p, 1)
+	})
+	if dieErr != nil {
+		t.Fatal(dieErr)
+	}
+	return dieVal
+}
+
+// newTestServer spins up a Service behind httptest and registers cleanup:
+// shutdown with a generous deadline so no test leaks workers.
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = svc.Shutdown(ctx)
+		ts.Close()
+	})
+	return svc, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (int, JobStatus, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st JobStatus
+	_ = json.Unmarshal(raw, &st)
+	return resp.StatusCode, st, string(raw)
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, ts, "/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+// hookConfig builds a config whose Prepare returns the shared die after
+// running fn (which may block, count, or fail).
+func hookConfig(t *testing.T, workers, queue int, fn func(ctx context.Context, spec DieSpec) error) Config {
+	die := sharedDie(t)
+	return Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		Prepare: func(ctx context.Context, spec DieSpec) (*wcm3d.Die, error) {
+			if fn != nil {
+				if err := fn(ctx, spec); err != nil {
+					return nil, err
+				}
+			}
+			return die, nil
+		},
+	}
+}
+
+// TestEndToEnd exercises the daemon against the real pipeline: default
+// Prepare, minimize, signoff, ATPG — then checks the report, the die list,
+// health and metrics.
+func TestEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	code, st, raw := postJob(t, ts, `{"profile":"b11/0","seed":1,"method":"ours","timing":"tight","atpg":true,"budget":"reduced"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	if st.State != StateQueued || st.ID == "" {
+		t.Fatalf("submit status = %+v", st)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s: %s", fin.State, fin.Error)
+	}
+	r := fin.Result
+	if r == nil {
+		t.Fatal("done job carries no result")
+	}
+	if r.Die.Name != "b11/Die0" || r.Method != "ours" || r.Timing != "tight" {
+		t.Errorf("report header = %+v", r)
+	}
+	if r.ReusedFFs+r.AdditionalCells == 0 || r.DFTAreaUM2 <= 0 {
+		t.Errorf("implausible minimize outcome: %+v", r)
+	}
+	if r.StuckAt == nil || r.StuckAt.Coverage <= 0.5 || r.TestCycles <= 0 {
+		t.Errorf("implausible ATPG outcome: %+v", r.StuckAt)
+	}
+
+	var dies struct {
+		Dies []DieInfo `json:"dies"`
+	}
+	if code := getJSON(t, ts, "/v1/dies", &dies); code != http.StatusOK {
+		t.Fatalf("dies: %d", code)
+	}
+	if len(dies.Dies) != 1 || dies.Dies[0].Name != "b11/Die0" || dies.Dies[0].ScanFFs == 0 {
+		t.Errorf("dies = %+v", dies.Dies)
+	}
+	if code := getJSON(t, ts, "/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz = %d", code)
+	}
+	var m MetricsSnapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.Jobs.Done != 1 || m.Cache.Misses != 1 {
+		t.Errorf("metrics = %+v", m.Jobs)
+	}
+	if m.LatencyMS["total"].Count != 1 || m.LatencyMS["prepare"].Count != 1 || m.LatencyMS["atpg"].Count != 1 {
+		t.Errorf("latency histograms = %+v", m.LatencyMS)
+	}
+	// A second identical submission is a pure cache hit.
+	_, st2, _ := postJob(t, ts, `{"profile":"b11/0","seed":1,"atpg":false}`)
+	if fin := waitJob(t, ts, st2.ID); fin.State != StateDone {
+		t.Fatalf("cached job ended %s: %s", fin.State, fin.Error)
+	}
+	getJSON(t, ts, "/metrics", &m)
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Errorf("after cached job: hits=%d misses=%d, want 1/1", m.Cache.Hits, m.Cache.Misses)
+	}
+}
+
+// TestSingleFlight is the acceptance check: two simultaneous requests for
+// the same (profile, seed) trigger exactly one preparation.
+func TestSingleFlight(t *testing.T) {
+	var prepares atomic.Int64
+	cfg := hookConfig(t, 4, 8, func(ctx context.Context, spec DieSpec) error {
+		prepares.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the flight open
+		return nil
+	})
+	svc, ts := newTestServer(t, cfg)
+	var ids [2]string
+	for i := range ids {
+		code, st, raw := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, raw)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		if fin := waitJob(t, ts, id); fin.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", id, fin.State, fin.Error)
+		}
+	}
+	if got := prepares.Load(); got != 1 {
+		t.Errorf("prepare ran %d times for concurrent same-key jobs, want 1", got)
+	}
+	m := svc.Snapshot()
+	if m.Cache.Misses != 1 || m.Cache.Hits != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", m.Cache.Hits, m.Cache.Misses)
+	}
+}
+
+// TestBackpressure is the acceptance check: a full queue returns 429.
+func TestBackpressure(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	cfg := hookConfig(t, 1, 1, func(ctx context.Context, spec DieSpec) error {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	svc, ts := newTestServer(t, cfg)
+	code, st1, raw := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1: %d %s", code, raw)
+	}
+	<-started // job 1 is running, the queue is empty again
+	code, st2, _ := postJob(t, ts, `{"profile":"b11/0","seed":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 2: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"profile":"b11/0","seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3 = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	close(release)
+	<-started // job 2 enters the hook once job 1's flight closes
+	for _, id := range []string{st1.ID, st2.ID} {
+		if fin := waitJob(t, ts, id); fin.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", id, fin.State, fin.Error)
+		}
+	}
+	m := svc.Snapshot()
+	if m.Jobs.Rejected != 1 || m.Jobs.Done != 2 {
+		t.Errorf("metrics = %+v", m.Jobs)
+	}
+}
+
+// TestShutdownDrains is the acceptance check: shutdown drains an in-flight
+// job before exiting, then refuses new work.
+func TestShutdownDrains(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	cfg := hookConfig(t, 1, 4, func(ctx context.Context, spec DieSpec) error {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	svc, ts := newTestServer(t, cfg)
+	_, st, _ := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+	<-started
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := svc.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if rep.Done != 1 || rep.Canceled != 0 {
+		t.Errorf("drain report = %+v, want 1 done", rep)
+	}
+	if fin, ok := svc.Job(st.ID); !ok || fin.State != StateDone {
+		t.Errorf("drained job = %+v", fin)
+	}
+	if code, _, _ := postJob(t, ts, `{"profile":"b11/0","seed":1}`); code != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown = %d, want 503", code)
+	}
+	if code := getJSON(t, ts, "/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz after shutdown = %d, want 503", code)
+	}
+}
+
+// TestShutdownDeadline: a drain deadline cancels in-flight and queued jobs
+// and reports the partial state.
+func TestShutdownDeadline(t *testing.T) {
+	started := make(chan struct{}, 1)
+	cfg := hookConfig(t, 1, 4, func(ctx context.Context, spec DieSpec) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // honor only cancellation
+		return ctx.Err()
+	})
+	svc, ts := newTestServer(t, cfg)
+	_, st1, _ := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+	<-started
+	_, st2, _ := postJob(t, ts, `{"profile":"b11/0","seed":2}`) // stays queued
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rep, err := svc.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown err = %v, want deadline exceeded", err)
+	}
+	if rep.Canceled != 2 || rep.Done != 0 {
+		t.Errorf("drain report = %+v, want 2 canceled", rep)
+	}
+	for _, id := range []string{st1.ID, st2.ID} {
+		if fin, ok := svc.Job(id); !ok || fin.State != StateCanceled {
+			t.Errorf("job %s = %+v, want canceled", id, fin)
+		}
+	}
+}
+
+// TestCancel covers per-job cancellation of both queued and running jobs.
+func TestCancel(t *testing.T) {
+	started := make(chan struct{}, 1)
+	cfg := hookConfig(t, 1, 4, func(ctx context.Context, spec DieSpec) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	svc, ts := newTestServer(t, cfg)
+	_, st1, _ := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+	<-started
+	_, st2, _ := postJob(t, ts, `{"profile":"b11/0","seed":2}`) // queued behind st1
+
+	del := func(id string) (int, JobStatus) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+	if code, st := del(st2.ID); code != http.StatusOK || st.State != StateCanceled {
+		t.Errorf("cancel queued = %d %+v", code, st)
+	}
+	if code, _ := del(st1.ID); code != http.StatusOK {
+		t.Errorf("cancel running = %d", code)
+	}
+	if fin := waitJob(t, ts, st1.ID); fin.State != StateCanceled {
+		t.Errorf("running job after cancel = %+v", fin)
+	}
+	if code, _ := del("j-999999"); code != http.StatusNotFound {
+		t.Errorf("cancel unknown = %d, want 404", code)
+	}
+	m := svc.Snapshot()
+	if m.Jobs.Canceled != 2 {
+		t.Errorf("canceled = %d, want 2", m.Jobs.Canceled)
+	}
+}
+
+// TestLRUEviction: the die cache holds CacheCapacity entries and evicts the
+// least recently used.
+func TestLRUEviction(t *testing.T) {
+	var prepares atomic.Int64
+	cfg := hookConfig(t, 1, 4, func(ctx context.Context, spec DieSpec) error {
+		prepares.Add(1)
+		return nil
+	})
+	cfg.CacheCapacity = 1
+	svc, ts := newTestServer(t, cfg)
+	submit := func(seed int) {
+		t.Helper()
+		_, st, _ := postJob(t, ts, fmt.Sprintf(`{"profile":"b11/0","seed":%d}`, seed))
+		if fin := waitJob(t, ts, st.ID); fin.State != StateDone {
+			t.Fatalf("seed %d ended %s: %s", seed, fin.State, fin.Error)
+		}
+	}
+	submit(1)
+	submit(2) // evicts seed 1
+	submit(1) // misses again
+	m := svc.Snapshot()
+	if prepares.Load() != 3 || m.Cache.Misses != 3 || m.Cache.Evictions != 2 || m.Cache.Entries != 1 {
+		t.Errorf("prepares=%d metrics=%+v", prepares.Load(), m.Cache)
+	}
+	var dies struct {
+		Dies []DieInfo `json:"dies"`
+	}
+	getJSON(t, ts, "/v1/dies", &dies)
+	if len(dies.Dies) != 1 || dies.Dies[0].Seed != 1 {
+		t.Errorf("dies = %+v, want the seed-1 entry only", dies.Dies)
+	}
+}
+
+// TestPrepareFailureNotCached: a failed preparation surfaces as a failed
+// job and is retried (not negatively cached) on the next request.
+func TestPrepareFailure(t *testing.T) {
+	var calls atomic.Int64
+	cfg := hookConfig(t, 1, 4, func(ctx context.Context, spec DieSpec) error {
+		if calls.Add(1) == 1 {
+			return errors.New("flaky generator")
+		}
+		return nil
+	})
+	svc, ts := newTestServer(t, cfg)
+	_, st, _ := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+	if fin := waitJob(t, ts, st.ID); fin.State != StateFailed || !strings.Contains(fin.Error, "flaky generator") {
+		t.Fatalf("first job = %+v", fin)
+	}
+	_, st2, _ := postJob(t, ts, `{"profile":"b11/0","seed":1}`)
+	if fin := waitJob(t, ts, st2.ID); fin.State != StateDone {
+		t.Fatalf("retry = %+v", fin)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("prepare calls = %d, want 2 (failure must not be cached)", calls.Load())
+	}
+	m := svc.Snapshot()
+	if m.Jobs.Failed != 1 || m.Jobs.Done != 1 {
+		t.Errorf("metrics = %+v", m.Jobs)
+	}
+}
+
+// TestInlineNetlist runs the real PrepareParsed path on a tiny hand-written
+// die, and checks that a garbage netlist fails the job, not the daemon.
+func TestInlineNetlist(t *testing.T) {
+	const tiny = `
+INPUT(clk_en)
+INPUT(mode)
+TSV_IN(t_in0)
+TSV_IN(t_in1)
+TSV_IN(t_in2)
+TSV_IN(t_in3)
+ff_state0 = DFF(n_next0)
+ff_state1 = DFF(n_next1)
+n_a = AND(t_in0, clk_en)
+n_b = OR(t_in1, mode)
+n_c = XOR(t_in2, t_in3)
+n_d = NAND(n_a, ff_state0)
+n_e = NOR(n_b, ff_state1)
+n_next0 = XOR(n_d, n_c)
+n_next1 = AND(n_e, n_c)
+n_out = OR(n_d, n_e)
+OUTPUT(status) = n_out
+TSV_OUT(t_out0) = n_d
+TSV_OUT(t_out1) = n_e
+TSV_OUT(t_out2) = n_next0
+`
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	body, _ := json.Marshal(JobRequest{Netlist: tiny, Seed: 7, Method: "ours", Timing: "loose"})
+	code, st, raw := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("tiny die ended %s: %s", fin.State, fin.Error)
+	}
+	if !strings.HasPrefix(fin.Result.Die.Name, "bench:") || fin.Result.Die.InboundTSVs != 4 {
+		t.Errorf("report die = %+v", fin.Result.Die)
+	}
+
+	body, _ = json.Marshal(JobRequest{Netlist: "not a netlist at all"})
+	_, st, _ = postJob(t, ts, string(body))
+	if fin := waitJob(t, ts, st.ID); fin.State != StateFailed {
+		t.Errorf("garbage netlist = %+v, want failed", fin)
+	}
+}
+
+// TestValidation covers the 400/404/405 surfaces.
+func TestValidation(t *testing.T) {
+	_, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	for _, body := range []string{
+		`{"profile":"nope/9"}`,
+		`{"profile":"b11/0","netlist":"x"}`,
+		`{}`,
+		`{"profile":"b11/0","method":"mystery"}`,
+		`{"profile":"b11/0","timing":"sideways"}`,
+		`{"profile":"b11/0","budget":"maximal"}`,
+		`{"unknown_field":1}`,
+		`{broken json`,
+	} {
+		if code, _, raw := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("body %s = %d (%s), want 400", body, code, raw)
+		}
+	}
+	if code := getJSON(t, ts, "/v1/jobs/j-000042", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("list jobs = %d", resp.StatusCode)
+	}
+}
+
+// TestJobsList: the list endpoint returns jobs oldest first with stable IDs.
+func TestJobsList(t *testing.T) {
+	_, ts := newTestServer(t, hookConfig(t, 2, 8, nil))
+	var want []string
+	for i := 0; i < 3; i++ {
+		_, st, _ := postJob(t, ts, fmt.Sprintf(`{"profile":"b11/0","seed":%d}`, i+1))
+		want = append(want, st.ID)
+		waitJob(t, ts, st.ID)
+	}
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, ts, "/v1/jobs", &list)
+	if len(list.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list.Jobs))
+	}
+	for i, st := range list.Jobs {
+		if st.ID != want[i] {
+			t.Errorf("jobs[%d] = %s, want %s", i, st.ID, want[i])
+		}
+	}
+}
+
+func TestPoolSubmitAfterShutdown(t *testing.T) {
+	p := newPool(1, 1)
+	if err := p.shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.trySubmit(func(context.Context) {}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("trySubmit after shutdown = %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Microsecond) // <= 1ms bucket
+	h.Observe(3 * time.Millisecond)   // <= 5ms bucket
+	h.Observe(2 * time.Minute)        // overflow
+	s := h.snapshot()
+	if s.Count != 3 || s.SumMS < 120000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.LeMS != -1 || last.Count != 3 {
+		t.Errorf("overflow bucket = %+v", last)
+	}
+	if first := s.Buckets[0]; first.LeMS != 1 || first.Count != 1 {
+		t.Errorf("first bucket = %+v", first)
+	}
+}

@@ -31,6 +31,8 @@ package wcm3d
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"wcm3d/internal/atpg"
 	"wcm3d/internal/cells"
@@ -101,6 +103,24 @@ const (
 	MethodFullWrap
 )
 
+// ParseMethod maps the spelling used by the CLIs and the wcmd service
+// ("ours", "agrawal", "li", "fullwrap" / "full-wrap", case-insensitive)
+// back to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(s) {
+	case "ours":
+		return MethodOurs, nil
+	case "agrawal":
+		return MethodAgrawal, nil
+	case "li":
+		return MethodLi, nil
+	case "fullwrap", "full-wrap":
+		return MethodFullWrap, nil
+	default:
+		return 0, fmt.Errorf("wcm3d: unknown method %q", s)
+	}
+}
+
 // String names the method.
 func (m Method) String() string {
 	switch m {
@@ -137,6 +157,19 @@ func (t TimingMode) String() string {
 	return "loose"
 }
 
+// ParseTimingMode maps "tight" / "loose" (case-insensitive) back to a
+// TimingMode.
+func ParseTimingMode(s string) (TimingMode, error) {
+	switch strings.ToLower(s) {
+	case "tight":
+		return TightTiming, nil
+	case "loose":
+		return LooseTiming, nil
+	default:
+		return 0, fmt.Errorf("wcm3d: unknown timing mode %q", s)
+	}
+}
+
 func (t TimingMode) scenario() experiments.Scenario {
 	return experiments.Scenario{Name: t.String(), Tight: t == TightTiming}
 }
@@ -151,6 +184,24 @@ func CircuitProfiles(name string) []Profile { return netgen.ITC99Circuit(name) }
 
 // CircuitNames returns the six benchmark family names.
 func CircuitNames() []string { return netgen.ITC99CircuitNames() }
+
+// ProfileByName resolves a Table II die identifier of the form "b12/1"
+// or "b12/Die1" — the spelling the CLIs and the wcmd service accept.
+func ProfileByName(name string) (Profile, error) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 2 {
+		return Profile{}, fmt.Errorf("wcm3d: profile must look like b12/1, got %q", name)
+	}
+	idx, err := strconv.Atoi(strings.TrimPrefix(parts[1], "Die"))
+	if err != nil {
+		return Profile{}, fmt.Errorf("wcm3d: bad die index in profile %q", name)
+	}
+	ps := CircuitProfiles(parts[0])
+	if ps == nil || idx < 0 || idx >= len(ps) {
+		return Profile{}, fmt.Errorf("wcm3d: no profile %q", name)
+	}
+	return ps[idx], nil
+}
 
 // GenerateDie synthesizes a die matching the profile exactly;
 // deterministic in (profile, seed).
