@@ -282,3 +282,56 @@ func TestDiagnoseRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScheduleFacade(t *testing.T) {
+	var stack []wcm3d.StackDie
+	for _, p := range wcm3d.CircuitProfiles("b11")[:2] {
+		d, err := wcm3d.PrepareDie(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.TightTiming)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := wcm3d.EvaluateStuckAt(d, res.Assignment, wcm3d.ReducedBudget(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs, err := wcm3d.EnumerateWrapperDesigns(d, res.Assignment, tb.Patterns, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(designs) == 0 || designs[0].Width != 1 {
+			t.Fatalf("Pareto frontier must start at one wire: %+v", designs)
+		}
+		// Names left empty to exercise the profile-name default.
+		stack = append(stack, wcm3d.StackDie{
+			Die: d, Assignment: res.Assignment, Patterns: tb.Patterns,
+		})
+	}
+	sched, err := wcm3d.Schedule(stack, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Error(err)
+	}
+	if sched.MakespanCycles <= 0 || sched.MakespanCycles > sched.SerialCycles {
+		t.Errorf("makespan %d vs serial %d", sched.MakespanCycles, sched.SerialCycles)
+	}
+	names := map[string]bool{}
+	for _, sl := range sched.Slots {
+		names[sl.Die] = true
+	}
+	if !names["b11/Die0"] || !names["b11/Die1"] {
+		t.Errorf("slots not named after profiles: %v", names)
+	}
+
+	if _, err := wcm3d.Schedule(stack, 0); err == nil {
+		t.Error("zero width must error")
+	}
+	if _, err := wcm3d.Schedule([]wcm3d.StackDie{{}}, 8); err == nil {
+		t.Error("stack entry without a die must error")
+	}
+}

@@ -338,3 +338,21 @@ func BenchmarkWCM(b *testing.B) {
 	b.ReportMetric(float64(res.ReusedFFs), "reused")
 	b.ReportMetric(float64(res.AdditionalCells), "cells")
 }
+
+// BenchmarkTAMWidths_B11 regenerates the TAM width sweep on the b11 stack:
+// wrap each die, enumerate its Pareto wrapper designs, and pack the stack
+// at each budget. The speedup metric is the 16-wire packed-vs-serial
+// ratio — the scheduler's headline number.
+func BenchmarkTAMWidths_B11(b *testing.B) {
+	dies := prepareDies(b, "b11")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TAMWidths(dies, []int{16, 32}, experiments.ReducedBudget(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Speedup(), "speedup-16w")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"wcm3d/internal/service"
+)
+
+func TestRunScheduleB11(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "b11", "", 16, "", "ours", "tight", 1, "reduced", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "stack b11: 4 dies, 16 TAM wires") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "b11/Die0") {
+		t.Errorf("missing die slot:\n%s", out)
+	}
+}
+
+func TestRunScheduleJSONSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "b11/0,b11/3", 0, "8,16", "ours", "tight", 1, "reduced", true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []*service.ScheduleReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not the service schema: %v", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2 (one per width)", len(reports))
+	}
+	for _, rep := range reports {
+		s := rep.Schedule
+		if err := s.Validate(); err != nil {
+			t.Errorf("width %d: %v", s.TotalWidth, err)
+		}
+		if s.MakespanCycles > s.SerialCycles {
+			t.Errorf("width %d: makespan %d exceeds serial %d", s.TotalWidth, s.MakespanCycles, s.SerialCycles)
+		}
+		if len(rep.Dies) != 2 || rep.Stack != "custom" {
+			t.Errorf("unexpected report: stack %q, %d dies", rep.Stack, len(rep.Dies))
+		}
+	}
+	// More wires must never slow the stack down.
+	if reports[1].Schedule.MakespanCycles > reports[0].Schedule.MakespanCycles {
+		t.Errorf("16 wires (%d cycles) slower than 8 (%d cycles)",
+			reports[1].Schedule.MakespanCycles, reports[0].Schedule.MakespanCycles)
+	}
+}
+
+func TestRunScheduleErrors(t *testing.T) {
+	cases := []struct {
+		name                           string
+		circuit, profiles              string
+		width                          int
+		widths, method, timing, budget string
+	}{
+		{"no stack", "", "", 8, "", "ours", "tight", "full"},
+		{"both stack forms", "b11", "b11/0", 8, "", "ours", "tight", "full"},
+		{"unknown circuit", "b99", "", 8, "", "ours", "tight", "full"},
+		{"bad profile", "", "b11/9", 8, "", "ours", "tight", "full"},
+		{"zero width", "b11", "", 0, "", "ours", "tight", "full"},
+		{"bad widths", "b11", "", 8, "8,x", "ours", "tight", "full"},
+		{"bad method", "b11", "", 8, "", "mystery", "tight", "full"},
+		{"bad timing", "b11", "", 8, "", "ours", "sideways", "full"},
+		{"bad budget", "b11", "", 8, "", "ours", "tight", "maximal"},
+	}
+	for _, c := range cases {
+		if err := run(io.Discard, c.circuit, c.profiles, c.width, c.widths, c.method, c.timing, 1, c.budget, false); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

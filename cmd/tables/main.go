@@ -1,6 +1,7 @@
 // Command tables regenerates the paper's evaluation artifacts: Tables I-V
 // and Figure 7 of "Timing Aware Wrapper Cells Reduction for Pre-bond
-// Testing in 3D-ICs" (SOCC 2019).
+// Testing in 3D-ICs" (SOCC 2019), plus the TAM width sweep the paper stops
+// short of (internal/tam).
 //
 // Usage:
 //
@@ -8,40 +9,53 @@
 //	tables -table 3 -circuits b12    # one table on one circuit family
 //	tables -figure 7                 # the edge-growth figure (b20-b22)
 //	tables -table 4 -budget reduced  # faster, lower-effort ATPG
+//	tables -tam -widths 16,32,64     # stack test time vs total TAM wires
+//	tables -table 2 -json            # machine-readable rows
+//
+// With -json the output is an array of experiment reports in the shared
+// schema from internal/service (one {"experiment","rows"} envelope per
+// experiment run), so CLI and service output stay in lockstep.
 //
 // Runtime note: tables IV and V run full ATPG per die and method; on the
 // b18-class dies that is minutes per die at the full budget.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"wcm3d/internal/experiments"
 	"wcm3d/internal/netgen"
+	"wcm3d/internal/service"
 )
 
 func main() {
 	var (
 		table    = flag.Int("table", 0, "table number to regenerate (1-5)")
 		figure   = flag.Int("figure", 0, "figure number to regenerate (7)")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
+		tam      = flag.Bool("tam", false, "regenerate the TAM width sweep (stack test time vs total wires)")
+		all      = flag.Bool("all", false, "regenerate every table, figure, and the TAM sweep")
 		circuits = flag.String("circuits", "", "comma-separated circuit families (default: the paper's set for each experiment)")
+		widths   = flag.String("widths", "16,32,64", `comma-separated total TAM wire budgets for -tam`)
 		seed     = flag.Int64("seed", 1, "generation seed")
 		budget   = flag.String("budget", "full", "ATPG effort: full or reduced")
 		short    = flag.Bool("short", false, "shorthand for -budget reduced -circuits b11,b12")
+		asJSON   = flag.Bool("json", false, "emit machine-readable experiment reports (service schema)")
 	)
 	flag.Parse()
-	if err := run(*table, *figure, *all, *circuits, *seed, *budget, *short); err != nil {
+	if err := run(os.Stdout, *table, *figure, *tam, *all, *circuits, *widths, *seed, *budget, *short, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, all bool, circuits string, seed int64, budgetName string, short bool) error {
+func run(w io.Writer, table, figure int, tam, all bool, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
 	if short {
 		budgetName = "reduced"
 		if circuits == "" {
@@ -56,6 +70,10 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 		budget = experiments.ReducedBudget(seed)
 	default:
 		return fmt.Errorf("unknown budget %q (want full or reduced)", budgetName)
+	}
+	tamWidths, err := parseWidths(widthList)
+	if err != nil {
+		return err
 	}
 
 	profilesFor := func(defaults []string) ([]netgen.Profile, error) {
@@ -85,10 +103,31 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 		}
 		return table == n
 	}
-	if !all && table == 0 && figure == 0 {
-		return fmt.Errorf("nothing to do: pass -all, -table N, or -figure 7")
+	if !all && !tam && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, or -tam")
 	}
 	ran := false
+
+	// In JSON mode the experiments accumulate envelopes instead of
+	// rendering, and the timing notes stay off the data stream.
+	var reports []service.ExperimentReport
+	emit := func(name string, rows any, render func(io.Writer)) {
+		if asJSON {
+			reports = append(reports, service.ExperimentReport{Experiment: name, Rows: rows})
+			return
+		}
+		render(w)
+	}
+	timed := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !asJSON {
+			fmt.Fprintf(w, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
 
 	if want(1, false) {
 		ran = true
@@ -105,7 +144,7 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable1(os.Stdout, rows)
+			emit("table1", rows, func(w io.Writer) { experiments.RenderTable1(w, rows) })
 			return nil
 		}); err != nil {
 			return err
@@ -122,7 +161,7 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable2(os.Stdout, rows)
+			emit("table2", rows, func(w io.Writer) { experiments.RenderTable2(w, rows) })
 			return nil
 		}); err != nil {
 			return err
@@ -143,7 +182,7 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable3(os.Stdout, rows)
+			emit("table3", rows, func(w io.Writer) { experiments.RenderTable3(w, rows) })
 			return nil
 		}); err != nil {
 			return err
@@ -164,7 +203,7 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable4(os.Stdout, rows)
+			emit("table4", rows, func(w io.Writer) { experiments.RenderTable4(w, rows) })
 			return nil
 		}); err != nil {
 			return err
@@ -185,7 +224,7 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable5(os.Stdout, rows)
+			emit("table5", rows, func(w io.Writer) { experiments.RenderTable5(w, rows) })
 			return nil
 		}); err != nil {
 			return err
@@ -206,7 +245,28 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure7(os.Stdout, rows)
+			emit("figure7", rows, func(w io.Writer) { experiments.RenderFigure7(w, rows) })
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || tam {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("TAM widths", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.TAMWidths(dies, tamWidths, budget)
+			if err != nil {
+				return err
+			}
+			emit("tam_widths", rows, func(w io.Writer) { experiments.RenderTAMWidths(w, rows) })
 			return nil
 		}); err != nil {
 			return err
@@ -215,14 +275,22 @@ func run(table, figure int, all bool, circuits string, seed int64, budgetName st
 	if !ran {
 		return fmt.Errorf("no experiment matches -table %d / -figure %d", table, figure)
 	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
 	return nil
 }
 
-func timed(name string, f func() error) error {
-	start := time.Now()
-	if err := f(); err != nil {
-		return fmt.Errorf("%s: %w", name, err)
+func parseWidths(widthList string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(widthList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad TAM width %q", s)
+		}
+		out = append(out, n)
 	}
-	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-	return nil
+	return out, nil
 }

@@ -1,34 +1,94 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"wcm3d/internal/service"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRunTable2(t *testing.T) {
 	// Table II touches only the generator: fast and fully deterministic.
-	if err := run(2, 0, false, "b11", 1, "reduced", false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunShortFlagDefaults(t *testing.T) {
-	if err := run(2, 0, false, "", 1, "full", true); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, "", "16,32,64", 1, "full", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunTAMSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 0, true, false, "b11", "4,8", 1, "reduced", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "stack") || !strings.Contains(out, "b11") {
+		t.Errorf("missing sweep table:\n%s", out)
+	}
+	if !strings.Contains(out, "[TAM widths completed") {
+		t.Errorf("missing timing note:\n%s", out)
+	}
+}
+
+// TestRunJSONGolden pins the -json envelope schema. Table II is pure
+// netlist statistics, so the bytes are deterministic across runs.
+func TestRunJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 0, false, false, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []service.ExperimentReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not the service schema: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Experiment != "table2" {
+		t.Fatalf("unexpected envelope: %+v", reports)
+	}
+
+	golden := filepath.Join("testdata", "tables_table2_b11.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from %s (rerun with -update if intentional)\ngot:\n%s", golden, buf.String())
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(0, 0, false, "", 1, "full", false); err == nil {
+	if err := run(io.Discard, 0, 0, false, false, "", "16", 1, "full", false, false); err == nil {
 		t.Error("no experiment selected must error")
 	}
-	if err := run(2, 0, false, "b99", 1, "full", false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
+	if err := run(io.Discard, 2, 0, false, false, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
 		t.Errorf("unknown circuit: %v", err)
 	}
-	if err := run(2, 0, false, "", 1, "warp", false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
+	if err := run(io.Discard, 2, 0, false, false, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
 		t.Errorf("unknown budget: %v", err)
 	}
-	if err := run(9, 0, false, "", 1, "full", false); err == nil {
+	if err := run(io.Discard, 9, 0, false, false, "", "16", 1, "full", false, false); err == nil {
 		t.Error("unknown table number must error")
+	}
+	if err := run(io.Discard, 0, 0, true, false, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
+		t.Errorf("bad widths: %v", err)
 	}
 }

@@ -39,21 +39,47 @@ func main() {
 		queue   = flag.Int("queue", 64, "job queue depth (full queue returns 429)")
 		cache   = flag.Int("cache", 16, "prepared-die LRU cache capacity")
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "deadline for reading request headers (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "deadline for reading a whole request")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *drain, timeouts{
+		readHeader: *readHeaderTimeout,
+		read:       *readTimeout,
+		idle:       *idleTimeout,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wcmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, drain time.Duration) error {
+// timeouts bounds how long a client may hold a connection without making
+// progress. Go's zero-value http.Server waits forever on all three, so a
+// handful of slow-header connections could pin the daemon's file
+// descriptors indefinitely (slowloris); these defaults cap that. No write
+// timeout: schedule reports are computed synchronously and a fixed write
+// deadline would kill legitimately long responses.
+type timeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	idle       time.Duration
+}
+
+func run(addr string, workers, queue, cache int, drain time.Duration, to timeouts) error {
 	svc := service.New(service.Config{
 		Workers:       workers,
 		QueueDepth:    queue,
 		CacheCapacity: cache,
 	})
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: to.readHeader,
+		ReadTimeout:       to.read,
+		IdleTimeout:       to.idle,
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -5,9 +5,13 @@ import (
 	"time"
 )
 
+func defaultTimeouts() timeouts {
+	return timeouts{readHeader: 5 * time.Second, read: 30 * time.Second, idle: 2 * time.Minute}
+}
+
 func TestRunRejectsBadAddress(t *testing.T) {
 	errc := make(chan error, 1)
-	go func() { errc <- run("256.256.256.256:99999", 1, 1, 1, time.Second) }()
+	go func() { errc <- run("256.256.256.256:99999", 1, 1, 1, time.Second, defaultTimeouts()) }()
 	select {
 	case err := <-errc:
 		if err == nil {

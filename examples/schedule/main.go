@@ -1,0 +1,61 @@
+// Schedule: wrap the four b11 dies, then co-optimize wrapper width and
+// test scheduling for the whole pre-bond stack — how should 16 TAM wires
+// be shared so the stack finishes testing fastest?
+//
+//	go run ./examples/schedule
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wcm3d"
+)
+
+func main() {
+	const totalWidth = 16
+
+	// Wrap each die with the paper's method under tight timing, then grade
+	// it with stuck-at ATPG — the pattern count prices its test time.
+	var stack []wcm3d.StackDie
+	for _, p := range wcm3d.CircuitProfiles("b11") {
+		die, err := wcm3d.PrepareDie(p, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := wcm3d.Minimize(die, wcm3d.MethodOurs, wcm3d.TightTiming)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb, err := wcm3d.EvaluateStuckAt(die, res.Assignment, wcm3d.ReducedBudget(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stack = append(stack, wcm3d.StackDie{
+			Die: die, Assignment: res.Assignment, Patterns: tb.Patterns,
+		})
+
+		// Each die's Pareto frontier: more wires, fewer cycles.
+		designs, err := wcm3d.EnumerateWrapperDesigns(die, res.Assignment, tb.Patterns, totalWidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fastest := designs[len(designs)-1]
+		fmt.Printf("%-9s %3d patterns, %d Pareto designs (1 wire: %d cycles ... %d wires: %d cycles)\n",
+			p.Name(), tb.Patterns, len(designs),
+			designs[0].Cycles, fastest.Width, fastest.Cycles)
+	}
+
+	// Pack one rectangle per die into the (width x time) plane.
+	sched, err := wcm3d.Schedule(stack, totalWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule on %d TAM wires: makespan %d cycles (serial %d, %.2fx speedup, %.0f%% utilization)\n",
+		sched.TotalWidth, sched.MakespanCycles, sched.SerialCycles,
+		float64(sched.SerialCycles)/float64(sched.MakespanCycles), 100*sched.Utilization())
+	for _, sl := range sched.Slots {
+		fmt.Printf("  %-9s wires %2d..%-2d  cycles %6d..%-6d\n",
+			sl.Die, sl.FirstWire, sl.FirstWire+sl.Width, sl.StartCycle, sl.EndCycle)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wcm3d/internal/netgen"
+)
+
+func TestTAMWidthsOnB11(t *testing.T) {
+	dies, err := PrepareSuite(netgen.ITC99Circuit("b11"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := TAMWidths(dies, []int{8, 16}, ReducedBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (one family x two widths)", len(rows))
+	}
+	byWidth := map[int]TAMRow{}
+	for _, r := range rows {
+		if r.Circuit != "b11" {
+			t.Errorf("row for %q, want b11", r.Circuit)
+		}
+		if r.MakespanCycles <= 0 || r.MakespanCycles > r.SerialCycles {
+			t.Errorf("width %d: makespan %d vs serial %d", r.Width, r.MakespanCycles, r.SerialCycles)
+		}
+		if r.Speedup() < 1 {
+			t.Errorf("width %d: speedup %.2f < 1", r.Width, r.Speedup())
+		}
+		if r.Utilization <= 0 || r.Utilization > 1 {
+			t.Errorf("width %d: utilization %v out of range", r.Width, r.Utilization)
+		}
+		byWidth[r.Width] = r
+	}
+	// More tester wires must never slow the stack down.
+	if byWidth[16].MakespanCycles > byWidth[8].MakespanCycles {
+		t.Errorf("16 wires (%d cycles) slower than 8 (%d cycles)",
+			byWidth[16].MakespanCycles, byWidth[8].MakespanCycles)
+	}
+
+	var buf bytes.Buffer
+	RenderTAMWidths(&buf, rows)
+	if out := buf.String(); !strings.Contains(out, "b11") || !strings.Contains(out, "speedup") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestTAMWidthsRejectsBadWidths(t *testing.T) {
+	if _, err := TAMWidths(nil, nil, ReducedBudget(1)); err == nil {
+		t.Error("empty width list must error")
+	}
+	if _, err := TAMWidths(nil, []int{8, 0}, ReducedBudget(1)); err == nil {
+		t.Error("non-positive width must error")
+	}
+}

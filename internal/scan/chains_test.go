@@ -3,6 +3,7 @@ package scan
 import (
 	"testing"
 
+	"wcm3d/internal/netgen"
 	"wcm3d/internal/netlist"
 	"wcm3d/internal/place"
 )
@@ -161,5 +162,79 @@ func TestTestCycles(t *testing.T) {
 	// 100 patterns, depth 20: 100*(21) + 20.
 	if got := plan.TestCycles(100); got != 100*21+20 {
 		t.Errorf("cycles = %d", got)
+	}
+}
+
+// With no assignment the scan cells are the functional flip-flops alone;
+// asking for more chains than FFs must clamp to one cell per chain, and
+// the degenerate depth-1 plan must still price test time sensibly.
+func TestBuildChainsMoreChainsThanFFs(t *testing.T) {
+	n, pl, _ := chainDie(t) // 10 FFs
+	plan, err := BuildChains(n, pl, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFFs := len(n.FlipFlops())
+	if plan.NumCells() != nFFs || len(plan.Chains) != nFFs {
+		t.Fatalf("got %d cells in %d chains, want %d singleton chains",
+			plan.NumCells(), len(plan.Chains), nFFs)
+	}
+	for _, ch := range plan.Chains {
+		if len(ch) != 1 {
+			t.Errorf("chain length %d, want 1", len(ch))
+		}
+		if ch[0].FF == netlist.InvalidSignal || ch[0].Wrapper != -1 {
+			t.Errorf("nil assignment produced a wrapper cell: %+v", ch[0])
+		}
+	}
+	if plan.MaxLength() != 1 {
+		t.Errorf("depth = %d, want 1", plan.MaxLength())
+	}
+	// Depth 1: each pattern costs a shift plus a capture, plus one final
+	// shift-out.
+	if got := plan.TestCycles(5); got != 5*2+1 {
+		t.Errorf("TestCycles(5) = %d, want 11", got)
+	}
+}
+
+// A netlist with no scan cells at all: the plan must come back empty but
+// well-formed, not error, and cost nothing on the tester.
+func TestBuildChainsNoScanCells(t *testing.T) {
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: 40, FFs: 0, PIs: 4, POs: 3, InboundTSVs: 2, OutboundTSVs: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildChains(n, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumCells() != 0 || len(plan.Chains) != 4 {
+		t.Errorf("got %d cells in %d chains, want 0 cells in 4 empty chains",
+			plan.NumCells(), len(plan.Chains))
+	}
+	if plan.MaxLength() != 0 || plan.WireUM != 0 {
+		t.Errorf("empty plan has depth %d, wire %.1f", plan.MaxLength(), plan.WireUM)
+	}
+}
+
+// TestCycles on degenerate plans: an empty plan shifts nothing, so each
+// pattern is just its capture cycle; zero patterns are free regardless of
+// depth.
+func TestTestCyclesDegenerate(t *testing.T) {
+	empty := &ChainPlan{}
+	if got := empty.TestCycles(10); got != 10 {
+		t.Errorf("empty plan, 10 patterns = %d cycles, want 10 capture cycles", got)
+	}
+	if got := empty.TestCycles(0); got != 0 {
+		t.Errorf("empty plan, 0 patterns = %d cycles, want 0", got)
+	}
+	single := &ChainPlan{Chains: [][]ChainCell{make([]ChainCell, 7)}}
+	if got := single.TestCycles(0); got != 0 {
+		t.Errorf("0 patterns = %d cycles, want 0", got)
+	}
+	if got := single.TestCycles(1); got != 1*8+7 {
+		t.Errorf("1 pattern at depth 7 = %d cycles, want 15", got)
 	}
 }

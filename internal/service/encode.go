@@ -41,6 +41,15 @@ func DescribeDie(name string, seed int64, d *wcm3d.Die) DieInfo {
 	}
 }
 
+// ExperimentReport wraps one evaluation experiment's rows for
+// machine-readable output — the envelope cmd/tables -json emits, kept here
+// so every CLI's JSON schema lives in one place. Rows is the experiment's
+// row slice (e.g. []experiments.Table1Row) serialized as-is.
+type ExperimentReport struct {
+	Experiment string `json:"experiment"`
+	Rows       any    `json:"rows"`
+}
+
 // TestabilityReport is the JSON form of an ATPG outcome.
 type TestabilityReport struct {
 	Coverage    float64 `json:"coverage"`

@@ -12,12 +12,14 @@ import (
 //	GET    /v1/jobs      list jobs
 //	GET    /v1/jobs/{id} poll one job
 //	DELETE /v1/jobs/{id} cancel one job
+//	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 503)
 //	GET    /v1/dies      list cached prepared dies
 //	GET    /healthz      liveness (503 once shutdown begins)
 //	GET    /metrics      expvar-style counters and latency histograms
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/schedules", s.handleSchedule)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -59,6 +61,29 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Location", "/v1/jobs/"+st.ID)
 		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// handleSchedule runs a stack scheduling request synchronously: unlike
+// minimize jobs it returns the finished report in the response (200), with
+// the request's context carrying client-disconnect cancellation into the
+// pipeline.
+func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	rep, err := s.ScheduleStack(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, rep)
 	}
 }
 

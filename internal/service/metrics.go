@@ -19,6 +19,10 @@ type Metrics struct {
 	// JobsRunning is a gauge of jobs currently executing.
 	JobsRunning atomic.Int64
 
+	// Schedule counters: synchronous POST /v1/schedules outcomes.
+	SchedulesDone   atomic.Int64
+	SchedulesFailed atomic.Int64
+
 	// Die-cache counters. A hit is any request served by an existing entry
 	// (including one still being prepared — the single-flight path); a
 	// miss is a request that triggered a preparation.
@@ -39,6 +43,7 @@ const (
 	StageSignoff               // functional-mode timing check
 	StageATPG                  // stuck-at evaluation + chain build
 	StageTotal                 // whole job, submit-to-finish
+	StageSchedule              // whole stack scheduling run (/v1/schedules)
 	numStages
 )
 
@@ -54,6 +59,8 @@ func (s Stage) String() string {
 		return "atpg"
 	case StageTotal:
 		return "total"
+	case StageSchedule:
+		return "schedule"
 	default:
 		return "unknown"
 	}
@@ -147,6 +154,10 @@ type MetricsSnapshot struct {
 		Capacity int `json:"capacity"`
 		Workers  int `json:"workers"`
 	} `json:"queue"`
+	Schedules struct {
+		Done   int64 `json:"done"`
+		Failed int64 `json:"failed"`
+	} `json:"schedules"`
 	LatencyMS map[string]HistogramSnapshot `json:"latency_ms"`
 }
 
@@ -158,6 +169,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Jobs.Failed = m.JobsFailed.Load()
 	s.Jobs.Canceled = m.JobsCanceled.Load()
 	s.Jobs.Rejected = m.JobsRejected.Load()
+	s.Schedules.Done = m.SchedulesDone.Load()
+	s.Schedules.Failed = m.SchedulesFailed.Load()
 	s.Cache.Hits = m.CacheHits.Load()
 	s.Cache.Misses = m.CacheMisses.Load()
 	s.Cache.Evictions = m.CacheEvictions.Load()

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"wcm3d"
+	"wcm3d/internal/tam"
+)
+
+// ScheduleRequest is the body of POST /v1/schedules: a pre-bond stack to
+// wrap and schedule onto a shared TAM.
+type ScheduleRequest struct {
+	// Circuit names a Table II benchmark family ("b12"); its four dies
+	// form the stack. Profiles lists explicit dies ("b12/1", ...) instead.
+	// Exactly one must be set.
+	Circuit  string   `json:"circuit,omitempty"`
+	Profiles []string `json:"profiles,omitempty"`
+	// Width is the total TAM wire budget (required, >= 1).
+	Width int `json:"width"`
+	// Seed drives generation, placement and ATPG (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Method is ours | agrawal | li | fullwrap (default ours).
+	Method string `json:"method,omitempty"`
+	// Timing is tight | loose (default tight).
+	Timing string `json:"timing,omitempty"`
+	// Budget is the ATPG effort: full | reduced (default full).
+	Budget string `json:"budget,omitempty"`
+}
+
+// ScheduleDieReport is one die's contribution to a schedule: its
+// description, its ATPG pattern count, and its Pareto wrapper designs.
+type ScheduleDieReport struct {
+	Die      DieInfo               `json:"die"`
+	Patterns int                   `json:"patterns"`
+	Designs  []wcm3d.WrapperDesign `json:"designs"`
+}
+
+// ScheduleReport is the machine-readable outcome of a stack scheduling
+// run — the schema shared by POST /v1/schedules and cmd/schedule -json.
+type ScheduleReport struct {
+	Stack       string              `json:"stack"`
+	Method      string              `json:"method"`
+	Timing      string              `json:"timing"`
+	Seed        int64               `json:"seed"`
+	Dies        []ScheduleDieReport `json:"dies"`
+	Schedule    *wcm3d.TestSchedule `json:"schedule"`
+	Utilization float64             `json:"utilization"`
+}
+
+// resolveSchedule validates a request and resolves its die profiles.
+func resolveSchedule(req ScheduleRequest) (stack string, profiles []wcm3d.Profile, m wcm3d.Method, mode wcm3d.TimingMode, budget wcm3d.ATPGBudget, seed int64, err error) {
+	switch {
+	case req.Circuit != "" && len(req.Profiles) > 0:
+		err = errors.New("pass circuit or profiles, not both")
+		return
+	case req.Circuit != "":
+		profiles = wcm3d.CircuitProfiles(req.Circuit)
+		if profiles == nil {
+			err = fmt.Errorf("unknown circuit %q", req.Circuit)
+			return
+		}
+		stack = req.Circuit
+	case len(req.Profiles) > 0:
+		for _, name := range req.Profiles {
+			var p wcm3d.Profile
+			if p, err = wcm3d.ProfileByName(name); err != nil {
+				return
+			}
+			profiles = append(profiles, p)
+		}
+		stack = "custom"
+	default:
+		err = errors.New("pass circuit or profiles")
+		return
+	}
+	if req.Width < 1 {
+		err = fmt.Errorf("width must be >= 1, got %d", req.Width)
+		return
+	}
+	seed = req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ms := req.Method
+	if ms == "" {
+		ms = "ours"
+	}
+	if m, err = wcm3d.ParseMethod(ms); err != nil {
+		return
+	}
+	ts := req.Timing
+	if ts == "" {
+		ts = "tight"
+	}
+	if mode, err = wcm3d.ParseTimingMode(ts); err != nil {
+		return
+	}
+	switch req.Budget {
+	case "", "full":
+		budget = wcm3d.DefaultBudget(seed)
+	case "reduced":
+		budget = wcm3d.ReducedBudget(seed)
+	default:
+		err = fmt.Errorf("unknown budget %q", req.Budget)
+	}
+	return
+}
+
+// ScheduleStack runs wrapper/TAM co-optimization for a stack request: each
+// die is prepared through the shared die cache (so repeat schedules and
+// minimize jobs amortize the expensive preparation), wrapped with the
+// requested method, graded with stuck-at ATPG for its pattern count, and
+// packed into the TAM plane. The whole run is timed under the "schedule"
+// latency histogram.
+func (s *Service) ScheduleStack(ctx context.Context, req ScheduleRequest) (*ScheduleReport, error) {
+	stackName, profiles, method, mode, budget, seed, err := resolveSchedule(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrShuttingDown
+	}
+
+	start := time.Now()
+	rep, err := s.buildSchedule(ctx, stackName, profiles, method, mode, budget, seed, req.Width)
+	s.metrics.Observe(StageSchedule, time.Since(start))
+	if err != nil {
+		s.metrics.SchedulesFailed.Add(1)
+		return nil, err
+	}
+	s.metrics.SchedulesDone.Add(1)
+	return rep, nil
+}
+
+func (s *Service) buildSchedule(ctx context.Context, stackName string, profiles []wcm3d.Profile, method wcm3d.Method, mode wcm3d.TimingMode, budget wcm3d.ATPGBudget, seed int64, width int) (*ScheduleReport, error) {
+	stack := make([]wcm3d.StackDie, 0, len(profiles))
+	for _, p := range profiles {
+		spec := DieSpec{Profile: p, Name: p.Name(), Seed: seed}
+		die, err := s.dies.get(ctx, DieKey{Name: spec.Name, Seed: seed}, func(ctx context.Context) (*wcm3d.Die, error) {
+			prepStart := time.Now()
+			d, err := s.cfg.Prepare(ctx, spec)
+			if err == nil {
+				s.metrics.Observe(StagePrepare, time.Since(prepStart))
+			}
+			return d, err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("prepare %s: %w", spec.Name, err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := wcm3d.Minimize(die, method, mode)
+		if err != nil {
+			return nil, fmt.Errorf("minimize %s: %w", spec.Name, err)
+		}
+		tb, err := wcm3d.EvaluateStuckAt(die, res.Assignment, budget)
+		if err != nil {
+			return nil, fmt.Errorf("atpg %s: %w", spec.Name, err)
+		}
+		stack = append(stack, wcm3d.StackDie{
+			Name:       spec.Name,
+			Die:        die,
+			Assignment: res.Assignment,
+			Patterns:   tb.Patterns,
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return EncodeSchedule(stackName, method, mode, seed, stack, width)
+}
+
+// EncodeSchedule enumerates each stacked die's Pareto wrapper designs,
+// packs them into the width-wire TAM plane, and builds the shared report —
+// the common tail of POST /v1/schedules and cmd/schedule, so daemon and
+// CLI output stay in lockstep.
+func EncodeSchedule(stackName string, method wcm3d.Method, mode wcm3d.TimingMode, seed int64, stack []wcm3d.StackDie, width int) (*ScheduleReport, error) {
+	rep := &ScheduleReport{
+		Stack:  stackName,
+		Method: method.String(),
+		Timing: mode.String(),
+		Seed:   seed,
+	}
+	specs := make([]tam.DieSpec, 0, len(stack))
+	for _, sd := range stack {
+		name := sd.Name
+		if name == "" {
+			name = sd.Die.Profile.Name()
+		}
+		designs, err := wcm3d.EnumerateWrapperDesigns(sd.Die, sd.Assignment, sd.Patterns, width)
+		if err != nil {
+			return nil, fmt.Errorf("enumerate %s: %w", name, err)
+		}
+		rep.Dies = append(rep.Dies, ScheduleDieReport{
+			Die:      DescribeDie(name, seed, sd.Die),
+			Patterns: sd.Patterns,
+			Designs:  designs,
+		})
+		specs = append(specs, tam.DieSpec{Name: name, Designs: designs})
+	}
+	sched, err := tam.Pack(specs, width)
+	if err != nil {
+		return nil, err
+	}
+	rep.Schedule = sched
+	rep.Utilization = sched.Utilization()
+	return rep, nil
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func postSchedule(t *testing.T, ts *httptest.Server, body string) (int, *ScheduleReport, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/schedules", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var rep ScheduleReport
+	_ = json.Unmarshal(raw, &rep)
+	return resp.StatusCode, &rep, string(raw)
+}
+
+// TestScheduleEndpoint drives POST /v1/schedules end to end over the
+// Prepare hook: the report must be structurally valid, the die cache must
+// absorb the repeat request, and the schedule latency must land in
+// /metrics.
+func TestScheduleEndpoint(t *testing.T) {
+	var prepares atomic.Int64
+	svc, ts := newTestServer(t, hookConfig(t, 2, 8, func(ctx context.Context, spec DieSpec) error {
+		prepares.Add(1)
+		return nil
+	}))
+
+	code, rep, raw := postSchedule(t, ts, `{"profiles":["b11/0","b11/1"],"width":8,"budget":"reduced"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if rep.Stack != "custom" || rep.Method != "ours" || rep.Timing != "tight" || rep.Seed != 1 {
+		t.Errorf("defaults not applied: %s", raw)
+	}
+	if len(rep.Dies) != 2 {
+		t.Fatalf("got %d dies, want 2", len(rep.Dies))
+	}
+	for _, d := range rep.Dies {
+		if d.Patterns <= 0 || len(d.Designs) == 0 {
+			t.Errorf("die %s missing patterns/designs: %+v", d.Die.Name, d)
+		}
+	}
+	s := rep.Schedule
+	if s == nil {
+		t.Fatalf("no schedule in report: %s", raw)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if s.TotalWidth != 8 || s.MakespanCycles > s.SerialCycles || s.MakespanCycles <= 0 {
+		t.Errorf("schedule = %+v", s)
+	}
+	if prepares.Load() != 2 {
+		t.Errorf("prepares = %d, want 2", prepares.Load())
+	}
+
+	// The repeat schedule must ride the prepared-die cache.
+	if code, _, raw := postSchedule(t, ts, `{"profiles":["b11/0","b11/1"],"width":8,"budget":"reduced"}`); code != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", code, raw)
+	}
+	if prepares.Load() != 2 {
+		t.Errorf("repeat schedule re-prepared dies: %d prepares", prepares.Load())
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts, "/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.Schedules.Done != 2 || snap.Schedules.Failed != 0 {
+		t.Errorf("schedules counters = %+v", snap.Schedules)
+	}
+	if h := snap.LatencyMS["schedule"]; h.Count != 2 {
+		t.Errorf("schedule latency count = %d, want 2", h.Count)
+	}
+	_ = svc
+}
+
+func TestScheduleValidation(t *testing.T) {
+	svc, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	cases := []string{
+		`{"width":8}`, // no stack
+		`{"circuit":"b11","profiles":["b11/0"],"width":8}`, // both forms
+		`{"circuit":"b99","width":8}`,                      // unknown circuit
+		`{"profiles":["b11/9"],"width":8}`,                 // bad profile
+		`{"circuit":"b11"}`,                                // missing width
+		`{"circuit":"b11","width":8,"method":"mystery"}`,   // bad method
+		`{"circuit":"b11","width":8,"timing":"sideways"}`,  // bad timing
+		`{"circuit":"b11","width":8,"budget":"maximal"}`,   // bad budget
+		`{"circuit":"b11","width":8,"bogus":true}`,         // unknown field
+		`not json`,
+	}
+	for _, body := range cases {
+		code, _, raw := postSchedule(t, ts, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", body, code, raw)
+		}
+	}
+	// Validation rejections never reach the pipeline, so the failure
+	// counter only counts runs that started.
+	if got := svc.Metrics().SchedulesFailed.Load(); got != 0 {
+		t.Errorf("validation failures counted as schedule failures: %d", got)
+	}
+}
+
+func TestScheduleAfterShutdown(t *testing.T) {
+	svc, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, _, raw := postSchedule(t, ts, `{"circuit":"b11","width":8,"budget":"reduced"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503: %s", code, raw)
+	}
+}

@@ -1,0 +1,48 @@
+package tam
+
+import (
+	"fmt"
+
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+	"wcm3d/internal/scan"
+)
+
+// Enumerate sweeps a die's wrapper designs: for every TAM width from 1 to
+// maxWidth it stitches the die's scan cells (functional flip-flops plus
+// the plan's dedicated wrapper cells) into that many chains with
+// scan.BuildChains and prices the result in tester cycles for the die's
+// pattern count. It returns the Pareto frontier, narrowest design first:
+// a wider design is kept only when it is strictly faster, so the packer
+// never considers a rectangle that wastes wires.
+//
+// The frontier is never empty — width 1 is always a design. Chain counts
+// above the die's scan-cell count collapse to one cell per chain and are
+// dominated, so the frontier naturally stops growing there.
+func Enumerate(n *netlist.Netlist, pl *place.Placement, a *scan.Assignment, patterns, maxWidth int) ([]Design, error) {
+	if maxWidth < 1 {
+		return nil, fmt.Errorf("tam: need at least one TAM wire, got %d", maxWidth)
+	}
+	if patterns < 0 {
+		return nil, fmt.Errorf("tam: negative pattern count %d", patterns)
+	}
+	var frontier []Design
+	best := -1
+	for w := 1; w <= maxWidth; w++ {
+		plan, err := scan.BuildChains(n, pl, a, w)
+		if err != nil {
+			return nil, err
+		}
+		cycles := plan.TestCycles(patterns)
+		if best < 0 || cycles < best {
+			frontier = append(frontier, Design{Width: w, Cycles: cycles})
+			best = cycles
+		}
+		// Once every cell sits in its own chain, wider designs cannot
+		// shorten the shift depth any further.
+		if plan.MaxLength() <= 1 {
+			break
+		}
+	}
+	return frontier, nil
+}

@@ -1,0 +1,115 @@
+package tam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pack builds the stack schedule: one rectangle per die placed into the
+// (totalWidth × time) plane, minimizing makespan with best-fit-decreasing
+// over a wire-availability skyline.
+//
+// The heuristic, in rectangle-packing terms:
+//
+//  1. Decreasing: dies are processed longest-test-first (each die's
+//     fastest eligible design is its length), so the big rectangles shape
+//     the skyline and the small ones fill the gaps they leave.
+//
+//  2. Best fit: for each die, every Pareto design is tried at every wire
+//     offset. A candidate's start time is the latest busy-until time
+//     among the wires it would occupy — placing on wires an earlier die
+//     has vacated reclaims that idle width. The candidate with the
+//     earliest finish wins; ties prefer the narrower design (leaving
+//     wires for later dies), then the lower offset (determinism).
+//
+// Pack is fully deterministic in its inputs: identical specs and budget
+// yield an identical schedule, byte for byte. The makespan never exceeds
+// SerialCycles, because "start after everything currently scheduled, at
+// the fastest design" is always among the candidates considered.
+func Pack(dies []DieSpec, totalWidth int) (*Schedule, error) {
+	if totalWidth < 1 {
+		return nil, fmt.Errorf("tam: need at least one TAM wire, got %d", totalWidth)
+	}
+	type entry struct {
+		spec     DieSpec
+		eligible []Design
+		fastest  int // min cycles among eligible designs
+	}
+	entries := make([]entry, 0, len(dies))
+	serial := 0
+	for _, d := range dies {
+		e := entry{spec: d, fastest: -1}
+		for _, des := range d.Designs {
+			if des.Width < 1 || des.Cycles < 0 {
+				return nil, fmt.Errorf("tam: die %s has a malformed design %+v", d.Name, des)
+			}
+			if des.Width > totalWidth {
+				continue
+			}
+			e.eligible = append(e.eligible, des)
+			if e.fastest < 0 || des.Cycles < e.fastest {
+				e.fastest = des.Cycles
+			}
+		}
+		if len(e.eligible) == 0 {
+			return nil, fmt.Errorf("tam: die %s has no design within the %d-wire budget", d.Name, totalWidth)
+		}
+		serial += e.fastest
+		entries = append(entries, e)
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].fastest != entries[j].fastest {
+			return entries[i].fastest > entries[j].fastest
+		}
+		return entries[i].spec.Name < entries[j].spec.Name
+	})
+
+	// avail[w] is the cycle at which TAM wire w becomes free.
+	avail := make([]int, totalWidth)
+	sched := &Schedule{TotalWidth: totalWidth, SerialCycles: serial}
+	for _, e := range entries {
+		var best Slot
+		found := false
+		for _, des := range e.eligible {
+			for off := 0; off+des.Width <= totalWidth; off++ {
+				start := 0
+				for _, t := range avail[off : off+des.Width] {
+					if t > start {
+						start = t
+					}
+				}
+				cand := Slot{
+					Die:        e.spec.Name,
+					Width:      des.Width,
+					FirstWire:  off,
+					StartCycle: start,
+					EndCycle:   start + des.Cycles,
+				}
+				if !found || betterFit(cand, best) {
+					best, found = cand, true
+				}
+			}
+		}
+		for w := best.FirstWire; w < best.FirstWire+best.Width; w++ {
+			avail[w] = best.EndCycle
+		}
+		if best.EndCycle > sched.MakespanCycles {
+			sched.MakespanCycles = best.EndCycle
+		}
+		sched.Slots = append(sched.Slots, best)
+	}
+	sortSlots(sched.Slots)
+	return sched, nil
+}
+
+// betterFit ranks placement candidates: earliest finish, then narrowest
+// width, then lowest wire offset.
+func betterFit(a, b Slot) bool {
+	if a.EndCycle != b.EndCycle {
+		return a.EndCycle < b.EndCycle
+	}
+	if a.Width != b.Width {
+		return a.Width < b.Width
+	}
+	return a.FirstWire < b.FirstWire
+}

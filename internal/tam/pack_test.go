@@ -1,0 +1,204 @@
+package tam
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPackSingleDie(t *testing.T) {
+	s, err := Pack([]DieSpec{{Name: "a", Designs: []Design{{Width: 2, Cycles: 50}}}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles != 50 || s.SerialCycles != 50 {
+		t.Errorf("makespan/serial = %d/%d, want 50/50", s.MakespanCycles, s.SerialCycles)
+	}
+	if len(s.Slots) != 1 || s.Slots[0].StartCycle != 0 || s.Slots[0].FirstWire != 0 {
+		t.Errorf("slot = %+v", s.Slots)
+	}
+}
+
+func TestPackEmptyStack(t *testing.T) {
+	s, err := Pack(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles != 0 || s.SerialCycles != 0 || len(s.Slots) != 0 {
+		t.Errorf("empty stack schedule = %+v", s)
+	}
+}
+
+func TestPackReclaimsIdleWidth(t *testing.T) {
+	// A occupies half the TAM for 100 cycles; B and C each need the other
+	// half for 40. A shelf packer would open a new 40-cycle shelf for C
+	// after the (A, B) row; reclaiming the width B vacates at cycle 40
+	// keeps everything inside A's shadow.
+	dies := []DieSpec{
+		{Name: "a", Designs: []Design{{Width: 2, Cycles: 100}}},
+		{Name: "b", Designs: []Design{{Width: 2, Cycles: 40}}},
+		{Name: "c", Designs: []Design{{Width: 2, Cycles: 40}}},
+	}
+	s, err := Pack(dies, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles != 100 {
+		t.Errorf("makespan = %d, want 100 (c must reuse b's wires)", s.MakespanCycles)
+	}
+	if s.SerialCycles != 180 {
+		t.Errorf("serial = %d, want 180", s.SerialCycles)
+	}
+}
+
+func TestPackDeterministicAndOrderIndependent(t *testing.T) {
+	dies := []DieSpec{
+		{Name: "b12/Die0", Designs: []Design{{1, 400}, {2, 210}, {4, 120}}},
+		{Name: "b12/Die1", Designs: []Design{{1, 900}, {3, 330}, {6, 180}}},
+		{Name: "b12/Die2", Designs: []Design{{1, 700}, {2, 360}, {5, 160}}},
+		{Name: "b12/Die3", Designs: []Design{{1, 120}, {2, 70}}},
+	}
+	first, err := Pack(dies, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Pack(dies, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("repeated pack differs:\n%+v\n%+v", first, again)
+	}
+	// The packer sorts by (test length, name), so caller order must not
+	// leak into the schedule.
+	perm := []DieSpec{dies[2], dies[0], dies[3], dies[1]}
+	shuffled, err := Pack(perm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, shuffled) {
+		t.Errorf("input order leaked into the schedule:\n%+v\n%+v", first, shuffled)
+	}
+}
+
+// TestPackPropertiesRandom fuzzes the invariants the scheduler promises:
+// structural validity (budget, no overlap) and makespan never worse than
+// serial one-die-at-a-time testing.
+func TestPackPropertiesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(64)
+		nDies := 1 + rng.Intn(8)
+		dies := make([]DieSpec, nDies)
+		for i := range dies {
+			nDesigns := 1 + rng.Intn(5)
+			designs := make([]Design, nDesigns)
+			for j := range designs {
+				designs[j] = Design{Width: 1 + rng.Intn(width), Cycles: rng.Intn(5000)}
+			}
+			dies[i] = DieSpec{Name: string(rune('a' + i)), Designs: designs}
+		}
+		s, err := Pack(dies, width)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(s.Slots) != nDies {
+			t.Fatalf("trial %d: %d slots for %d dies", trial, len(s.Slots), nDies)
+		}
+		if s.MakespanCycles > s.SerialCycles {
+			t.Fatalf("trial %d: makespan %d exceeds serial %d", trial, s.MakespanCycles, s.SerialCycles)
+		}
+		if u := s.Utilization(); u < 0 || u > 1 {
+			t.Fatalf("trial %d: utilization %f out of range", trial, u)
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	ok := []DieSpec{{Name: "a", Designs: []Design{{Width: 1, Cycles: 10}}}}
+	if _, err := Pack(ok, 0); err == nil {
+		t.Error("zero-wire budget must fail")
+	}
+	wide := []DieSpec{{Name: "a", Designs: []Design{{Width: 9, Cycles: 10}}}}
+	if _, err := Pack(wide, 8); err == nil {
+		t.Error("die wider than the budget must fail")
+	}
+	bad := []DieSpec{{Name: "a", Designs: []Design{{Width: 0, Cycles: 10}}}}
+	if _, err := Pack(bad, 8); err == nil {
+		t.Error("zero-width design must fail")
+	}
+	neg := []DieSpec{{Name: "a", Designs: []Design{{Width: 1, Cycles: -1}}}}
+	if _, err := Pack(neg, 8); err == nil {
+		t.Error("negative-cycle design must fail")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	s := &Schedule{
+		TotalWidth:     4,
+		MakespanCycles: 100,
+		Slots: []Slot{
+			{Die: "a", Width: 2, FirstWire: 0, StartCycle: 0, EndCycle: 60},
+			{Die: "b", Width: 2, FirstWire: 1, StartCycle: 40, EndCycle: 90},
+		},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("overlapping slots must fail validation")
+	}
+	s.Slots[1].FirstWire = 2
+	if err := s.Validate(); err != nil {
+		t.Errorf("disjoint wire ranges must pass: %v", err)
+	}
+	s.Slots[1].EndCycle = 101
+	if err := s.Validate(); err == nil {
+		t.Error("slot past the makespan must fail validation")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := &Schedule{
+		TotalWidth:     4,
+		MakespanCycles: 100,
+		Slots: []Slot{
+			{Die: "a", Width: 2, FirstWire: 0, StartCycle: 0, EndCycle: 100},
+			{Die: "b", Width: 2, FirstWire: 2, StartCycle: 0, EndCycle: 50},
+		},
+	}
+	if got := s.Utilization(); got != 0.75 {
+		t.Errorf("utilization = %f, want 0.75", got)
+	}
+	empty := &Schedule{TotalWidth: 4}
+	if got := empty.Utilization(); got != 0 {
+		t.Errorf("empty utilization = %f, want 0", got)
+	}
+}
+
+// BenchmarkPack prices the packer alone at paper scale: 24 dies, rich
+// Pareto sets, a 64-wire TAM.
+func BenchmarkPack(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dies := make([]DieSpec, 24)
+	for i := range dies {
+		var designs []Design
+		cycles := 20000 + rng.Intn(40000)
+		for w := 1; w <= 16; w++ {
+			designs = append(designs, Design{Width: w, Cycles: cycles / w})
+		}
+		dies[i] = DieSpec{Name: string(rune('a' + i)), Designs: designs}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pack(dies, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

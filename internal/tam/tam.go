@@ -1,0 +1,122 @@
+// Package tam solves the stage that follows wrapper-cell minimization in
+// any real pre-bond test flow: wrapper/TAM co-optimization and stack test
+// scheduling. Given wrapped dies, a tester offers a fixed number of test
+// access mechanism (TAM) wires; every wire drives one scan chain, so a
+// die tested over w wires shifts through chains of depth ~cells/w and its
+// test occupies a w × cycles rectangle of tester capacity. Minimizing the
+// stack's total test time is then 2D rectangle packing into a
+// (total width × time) plane — the classic formulation of Iyengar,
+// Chakrabarty and Marinissen, and of Islam et al.'s rectangle-packing
+// co-optimization (arXiv:1008.3320, arXiv:1008.4446).
+//
+// The package splits the problem the way the literature does:
+//
+//   - Enumerate sweeps a die's chain counts (internal/scan.BuildChains)
+//     and keeps the Pareto frontier of (TAM width, test cycles)
+//     rectangles — widening the TAM only earns a design a slot on the
+//     frontier if it actually shortens the test.
+//
+//   - Pack places one rectangle per die into the plane with a
+//     best-fit-decreasing heuristic over a wire-availability skyline:
+//     longest tests place first, every Pareto design × wire offset is
+//     scored, and the earliest-finishing fit wins, which reclaims idle
+//     width left behind by finished dies.
+//
+// The result is deterministic, overlap-free, never exceeds the wire
+// budget, and its makespan never exceeds serial one-die-at-a-time testing
+// (a candidate the greedy always considers). wcm3d.Schedule is the facade
+// entry; cmd/schedule and the wcmd daemon's POST /v1/schedules expose it.
+package tam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Design is one wrapper configuration of a die: testing over Width TAM
+// wires (one scan chain per wire) takes Cycles tester cycles.
+type Design struct {
+	Width  int `json:"width"`
+	Cycles int `json:"cycles"`
+}
+
+// DieSpec is one die to schedule: its display name and the Pareto set of
+// designs Enumerate produced for it.
+type DieSpec struct {
+	Name    string
+	Designs []Design
+}
+
+// Slot is one die's placement in the packed schedule: it occupies TAM
+// wires [FirstWire, FirstWire+Width) from StartCycle to EndCycle.
+type Slot struct {
+	Die        string `json:"die"`
+	Width      int    `json:"width"`
+	FirstWire  int    `json:"first_wire"`
+	StartCycle int    `json:"start_cycle"`
+	EndCycle   int    `json:"end_cycle"`
+}
+
+// Cycles is the slot's test length.
+func (s Slot) Cycles() int { return s.EndCycle - s.StartCycle }
+
+// Schedule is a packed pre-bond stack test schedule.
+type Schedule struct {
+	// TotalWidth is the TAM wire budget the schedule was packed into.
+	TotalWidth int `json:"total_width"`
+	// MakespanCycles is the stack's total test time: the latest EndCycle.
+	MakespanCycles int `json:"makespan_cycles"`
+	// SerialCycles is the one-die-at-a-time reference: each die tested
+	// alone at its fastest design within the budget, summed. The packer
+	// guarantees MakespanCycles <= SerialCycles.
+	SerialCycles int `json:"serial_cycles"`
+	// Slots holds one placement per die, in start-time order.
+	Slots []Slot `json:"slots"`
+}
+
+// Utilization is the fraction of the width × makespan plane doing useful
+// shifting: sum(width_i × cycles_i) / (TotalWidth × MakespanCycles).
+func (s *Schedule) Utilization() float64 {
+	if s.MakespanCycles == 0 || s.TotalWidth == 0 {
+		return 0
+	}
+	area := 0
+	for _, sl := range s.Slots {
+		area += sl.Width * sl.Cycles()
+	}
+	return float64(area) / float64(s.TotalWidth*s.MakespanCycles)
+}
+
+// Validate checks the schedule's structural invariants: every slot inside
+// the wire budget and the makespan, and no two slots overlapping in both
+// time and wire range. Pack output always passes; the method exists so
+// tests and downstream consumers can assert it cheaply.
+func (s *Schedule) Validate() error {
+	for i, a := range s.Slots {
+		if a.Width < 1 || a.FirstWire < 0 || a.FirstWire+a.Width > s.TotalWidth {
+			return fmt.Errorf("tam: slot %s exceeds the %d-wire budget (wires %d..%d)",
+				a.Die, s.TotalWidth, a.FirstWire, a.FirstWire+a.Width)
+		}
+		if a.StartCycle < 0 || a.EndCycle < a.StartCycle || a.EndCycle > s.MakespanCycles {
+			return fmt.Errorf("tam: slot %s has a bad time range [%d, %d)", a.Die, a.StartCycle, a.EndCycle)
+		}
+		for _, b := range s.Slots[i+1:] {
+			timeOverlap := a.StartCycle < b.EndCycle && b.StartCycle < a.EndCycle
+			wireOverlap := a.FirstWire < b.FirstWire+b.Width && b.FirstWire < a.FirstWire+a.Width
+			if timeOverlap && wireOverlap {
+				return fmt.Errorf("tam: slots %s and %s overlap", a.Die, b.Die)
+			}
+		}
+	}
+	return nil
+}
+
+// sortSlots orders slots by start time, then first wire, for stable output.
+func sortSlots(slots []Slot) {
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].StartCycle != slots[j].StartCycle {
+			return slots[i].StartCycle < slots[j].StartCycle
+		}
+		return slots[i].FirstWire < slots[j].FirstWire
+	})
+}

@@ -1,0 +1,121 @@
+package tam
+
+import (
+	"testing"
+
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+	"wcm3d/internal/scan"
+)
+
+func enumDie(t *testing.T, seed int64) (*netlist.Netlist, *place.Placement, *scan.Assignment) {
+	t.Helper()
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: 200, FFs: 10, PIs: 5, POs: 3, InboundTSVs: 6, OutboundTSVs: 5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(n, place.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, pl, scan.FullWrap(n)
+}
+
+func TestEnumerateParetoFrontier(t *testing.T) {
+	n, pl, a := enumDie(t, 42)
+	const patterns = 80
+	designs, err := Enumerate(n, pl, a, patterns, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if designs[0].Width != 1 {
+		t.Errorf("frontier must start at width 1, got %d", designs[0].Width)
+	}
+	for i := 1; i < len(designs); i++ {
+		if designs[i].Width <= designs[i-1].Width {
+			t.Errorf("widths not increasing: %+v", designs)
+		}
+		if designs[i].Cycles >= designs[i-1].Cycles {
+			t.Errorf("design %+v does not improve on %+v", designs[i], designs[i-1])
+		}
+	}
+	// Every frontier point must price exactly as BuildChains does.
+	for _, d := range designs {
+		plan, err := scan.BuildChains(n, pl, a, d.Width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.TestCycles(patterns); got != d.Cycles {
+			t.Errorf("width %d: frontier says %d cycles, BuildChains says %d", d.Width, d.Cycles, got)
+		}
+	}
+}
+
+func TestEnumerateZeroPatterns(t *testing.T) {
+	n, pl, a := enumDie(t, 42)
+	designs, err := Enumerate(n, pl, a, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero patterns cost zero cycles at any width; only width 1 survives.
+	if len(designs) != 1 || designs[0] != (Design{Width: 1, Cycles: 0}) {
+		t.Errorf("frontier = %+v, want [{1 0}]", designs)
+	}
+}
+
+func TestEnumerateStopsAtCellCount(t *testing.T) {
+	n, pl, a := enumDie(t, 42)
+	// 10 FFs + 11 dedicated wrapper cells = 21 scan cells.
+	designs, err := Enumerate(n, pl, a, 50, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := designs[len(designs)-1]
+	if last.Width > 21 {
+		t.Errorf("frontier reaches width %d with only 21 scan cells", last.Width)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	n, pl, a := enumDie(t, 42)
+	if _, err := Enumerate(n, pl, a, 10, 0); err == nil {
+		t.Error("zero maxWidth must fail")
+	}
+	if _, err := Enumerate(n, pl, a, -1, 8); err == nil {
+		t.Error("negative patterns must fail")
+	}
+}
+
+// TestEnumerateThenPack closes the loop on real dies: enumerate two
+// generated dies and pack them into a shared TAM.
+func TestEnumerateThenPack(t *testing.T) {
+	var specs []DieSpec
+	for i, seed := range []int64{42, 43} {
+		n, pl, a := enumDie(t, seed)
+		designs, err := Enumerate(n, pl, a, 60+10*i, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, DieSpec{Name: n.Name, Designs: designs})
+	}
+	specs[0].Name, specs[1].Name = "die0", "die1"
+	s, err := Pack(specs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles > s.SerialCycles {
+		t.Errorf("makespan %d exceeds serial %d", s.MakespanCycles, s.SerialCycles)
+	}
+	if s.MakespanCycles <= 0 {
+		t.Error("empty makespan for non-trivial dies")
+	}
+}

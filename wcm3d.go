@@ -46,6 +46,7 @@ import (
 	"wcm3d/internal/place"
 	"wcm3d/internal/scan"
 	"wcm3d/internal/sta"
+	"wcm3d/internal/tam"
 	"wcm3d/internal/wcm"
 	"wcm3d/internal/wcm/li"
 )
@@ -331,6 +332,64 @@ type ChainPlan = scan.ChainPlan
 // TestCycles method estimates tester time for a pattern count.
 func BuildScanChains(d *Die, asn *Assignment, nChains int) (*ChainPlan, error) {
 	return scan.BuildChains(d.Netlist, d.Placement, asn, nChains)
+}
+
+// WrapperDesign is one point on a die's wrapper/TAM trade-off frontier:
+// testing over Width TAM wires takes Cycles tester cycles (see
+// internal/tam).
+type WrapperDesign = tam.Design
+
+// TestSchedule is a packed pre-bond stack test schedule: per-die TAM wire
+// ranges and start/stop times, the makespan, and the serial reference.
+type TestSchedule = tam.Schedule
+
+// TestSlot is one die's placement within a TestSchedule.
+type TestSlot = tam.Slot
+
+// StackDie couples a wrapped die with everything stack scheduling needs:
+// the prepared die, its wrapper plan, and its ATPG pattern count.
+type StackDie struct {
+	// Name labels the die in the schedule; empty defaults to the die's
+	// profile name.
+	Name string
+	// Die is the prepared die (PrepareDie / PrepareParsed).
+	Die *Die
+	// Assignment is the die's wrapper plan (Minimize result).
+	Assignment *Assignment
+	// Patterns is the die's test-pattern count (EvaluateStuckAt).
+	Patterns int
+}
+
+// EnumerateWrapperDesigns sweeps a die's scan-chain counts from 1 to
+// maxWidth and returns the Pareto frontier of (TAM width, test cycles)
+// wrapper designs — the rectangles Schedule packs.
+func EnumerateWrapperDesigns(d *Die, asn *Assignment, patterns, maxWidth int) ([]WrapperDesign, error) {
+	return tam.Enumerate(d.Netlist, d.Placement, asn, patterns, maxWidth)
+}
+
+// Schedule performs wrapper/TAM co-optimization for a pre-bond stack: it
+// enumerates each die's Pareto wrapper designs and packs one rectangle per
+// die into a (totalWidth × time) plane with a best-fit-decreasing
+// heuristic and idle-width reclamation. The schedule is deterministic,
+// overlap-free, never exceeds totalWidth, and its makespan never exceeds
+// serial one-die-at-a-time testing.
+func Schedule(stack []StackDie, totalWidth int) (*TestSchedule, error) {
+	specs := make([]tam.DieSpec, len(stack))
+	for i, sd := range stack {
+		if sd.Die == nil {
+			return nil, fmt.Errorf("wcm3d: stack entry %d has no die", i)
+		}
+		name := sd.Name
+		if name == "" {
+			name = sd.Die.Profile.Name()
+		}
+		designs, err := tam.Enumerate(sd.Die.Netlist, sd.Die.Placement, sd.Assignment, sd.Patterns, totalWidth)
+		if err != nil {
+			return nil, fmt.Errorf("wcm3d: enumerating %s: %w", name, err)
+		}
+		specs[i] = tam.DieSpec{Name: name, Designs: designs}
+	}
+	return tam.Pack(specs, totalWidth)
 }
 
 // Syndrome is a tester observation: which applied patterns failed.
