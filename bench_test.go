@@ -339,6 +339,36 @@ func BenchmarkWCM(b *testing.B) {
 	b.ReportMetric(float64(res.AdditionalCells), "cells")
 }
 
+// BenchmarkRunLargestDie measures one complete wcm.Run — the unit of
+// latency behind every wcmd job — on the largest b22 die, with the
+// single-die hot path forced serial (workers=1, the pre-parallelism
+// baseline shape) and free to use every core. The plan is bit-identical
+// either way; only the latency moves.
+func BenchmarkRunLargestDie(b *testing.B) {
+	d, err := experiments.PrepareDie(netgen.ITC99Circuit("b22")[2], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var res *wcm.Result
+			for i := 0; i < b.N; i++ {
+				opts := experiments.OurOptions(d, experiments.Scenario{Tight: true})
+				opts.Workers = bc.workers
+				res, err = wcm.Run(d.Input(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.ReusedFFs), "reused")
+			b.ReportMetric(float64(res.AdditionalCells), "cells")
+		})
+	}
+}
+
 // BenchmarkTAMWidths_B11 regenerates the TAM width sweep on the b11 stack:
 // wrap each die, enumerate its Pareto wrapper designs, and pack the stack
 // at each budget. The speedup metric is the 16-wire packed-vs-serial

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,12 +49,61 @@ func main() {
 		budget   = flag.String("budget", "full", "ATPG effort: full or reduced")
 		short    = flag.Bool("short", false, "shorthand for -budget reduced -circuits b11,b12")
 		asJSON   = flag.Bool("json", false, "emit machine-readable experiment reports (service schema)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *table, *figure, *tam, *all, *circuits, *widths, *seed, *budget, *short, *asJSON); err != nil {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
+	runErr := run(os.Stdout, *table, *figure, *tam, *all, *circuits, *widths, *seed, *budget, *short, *asJSON)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tables:", runErr)
+		os.Exit(1)
+	}
+}
+
+// startProfiles turns on the requested pprof outputs and returns the hook
+// that finishes them — CPU profiling stops, and the heap profile is
+// snapshotted after a GC so it reflects live data, not garbage.
+func startProfiles(cpuprofile, memprofile string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuprofile != "" {
+		cpuFile, err = os.Create(cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("closing -cpuprofile: %w", err)
+			}
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				return fmt.Errorf("creating -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(w io.Writer, table, figure int, tam, all bool, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	wcmd -addr :8080 -workers 8 -queue 64 -cache 16
+//	wcmd -pprof-addr localhost:6060   # expose net/http/pprof on a side listener
 //
 // Quick start:
 //
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,12 +42,14 @@ func main() {
 		cache   = flag.Int("cache", 16, "prepared-die LRU cache capacity")
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
 
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "deadline for reading request headers (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "deadline for reading a whole request")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *drain, timeouts{
+	if err := run(*addr, *pprofAddr, *workers, *queue, *cache, *drain, timeouts{
 		readHeader: *readHeaderTimeout,
 		read:       *readTimeout,
 		idle:       *idleTimeout,
@@ -67,12 +71,32 @@ type timeouts struct {
 	idle       time.Duration
 }
 
-func run(addr string, workers, queue, cache int, drain time.Duration, to timeouts) error {
+func run(addr, pprofAddr string, workers, queue, cache int, drain time.Duration, to timeouts) error {
 	svc := service.New(service.Config{
 		Workers:       workers,
 		QueueDepth:    queue,
 		CacheCapacity: cache,
 	})
+
+	// Profiling endpoints live on their own listener — typically bound to
+	// localhost — so they are never reachable through the service address,
+	// and stay off entirely unless asked for. The handlers are registered
+	// on a private mux rather than relying on net/http/pprof's
+	// DefaultServeMux side effect.
+	if pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("wcmd: pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+				log.Printf("wcmd: pprof listener: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),

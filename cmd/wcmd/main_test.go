@@ -11,7 +11,7 @@ func defaultTimeouts() timeouts {
 
 func TestRunRejectsBadAddress(t *testing.T) {
 	errc := make(chan error, 1)
-	go func() { errc <- run("256.256.256.256:99999", 1, 1, 1, time.Second, defaultTimeouts()) }()
+	go func() { errc <- run("256.256.256.256:99999", "", 1, 1, 1, time.Second, defaultTimeouts()) }()
 	select {
 	case err := <-errc:
 		if err == nil {

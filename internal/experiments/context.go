@@ -23,6 +23,7 @@ import (
 	"wcm3d/internal/faults"
 	"wcm3d/internal/netgen"
 	"wcm3d/internal/netlist"
+	"wcm3d/internal/par"
 	"wcm3d/internal/place"
 	"wcm3d/internal/scan"
 	"wcm3d/internal/sta"
@@ -231,7 +232,7 @@ func PrepareSuite(profiles []netgen.Profile, seed int64) ([]*Die, error) {
 // of running the suite to completion.
 func PrepareSuiteContext(ctx context.Context, profiles []netgen.Profile, seed int64) ([]*Die, error) {
 	dies := make([]*Die, len(profiles))
-	err := forEachIndex(ctx, len(profiles), func(ctx context.Context, i int) error {
+	err := par.ForEachIndex(ctx, len(profiles), func(ctx context.Context, i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}

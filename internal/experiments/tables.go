@@ -8,6 +8,7 @@ import (
 
 	"wcm3d/internal/netgen"
 	"wcm3d/internal/netlist"
+	"wcm3d/internal/par"
 	"wcm3d/internal/wcm"
 )
 
@@ -142,7 +143,7 @@ type Table3Row struct {
 // dies.
 func Table3(dies []*Die) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(dies))
-	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
+	err := par.ForEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		row := Table3Row{Die: d.Profile.Name()}
 		type cfg struct {
@@ -283,7 +284,7 @@ type Table4Row struct {
 func Table4(dies []*Die, budget ATPGBudget) ([]Table4Row, error) {
 	tight := Scenario{Name: "performance-optimized", Tight: true}
 	rows := make([]Table4Row, len(dies))
-	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
+	err := par.ForEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		row := Table4Row{Die: d.Profile.Name()}
 		agr, err := wcm.Run(d.Input(), AgrawalOptions(d, tight))
@@ -355,7 +356,7 @@ type Table5Row struct {
 func Table5(dies []*Die, budget ATPGBudget) ([]Table5Row, error) {
 	tight := Scenario{Name: "performance-optimized", Tight: true}
 	rows := make([]Table5Row, len(dies))
-	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
+	err := par.ForEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		row := Table5Row{Die: d.Profile.Name()}
 		for _, allow := range []bool{false, true} {
@@ -427,7 +428,7 @@ type Figure7Row struct {
 func Figure7(dies []*Die) ([]Figure7Row, error) {
 	tight := Scenario{Name: "performance-optimized", Tight: true}
 	rows := make([]Figure7Row, len(dies))
-	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
+	err := par.ForEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		var edges [2]int
 		for i, allow := range []bool{false, true} {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"wcm3d/internal/par"
 	"wcm3d/internal/tam"
 	"wcm3d/internal/wcm"
 )
@@ -59,7 +60,7 @@ func TAMWidths(dies []*Die, widths []int, budget ATPGBudget) ([]TAMRow, error) {
 		designs []tam.Design
 	}
 	ws := make([]wrapped, len(dies))
-	err := forEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
+	err := par.ForEachIndex(context.Background(), len(dies), func(_ context.Context, di int) error {
 		d := dies[di]
 		res, err := wcm.Run(d.Input(), OurOptions(d, tight))
 		if err != nil {

@@ -1,6 +1,10 @@
 package netlist
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"wcm3d/internal/par"
+)
 
 // BitSet is a fixed-capacity bit vector keyed by SignalID. Cone membership
 // of every TSV and flip-flop is stored this way so that the graph
@@ -72,6 +76,51 @@ func (b *BitSet) IntersectCountExcluding(o, excl *BitSet) int {
 	return c
 }
 
+// AndNot returns a new set holding the members of b absent from excl.
+func (b *BitSet) AndNot(excl *BitSet) *BitSet {
+	out := &BitSet{words: make([]uint64, len(b.words)), n: b.n}
+	for i, w := range b.words {
+		out.words[i] = w &^ excl.words[i]
+	}
+	return out
+}
+
+// WordSpan returns the half-open 64-bit-word range [lo, hi) outside which
+// the set is empty (0, 0 for an empty set). Cones are spatially local, so
+// pair tests bounded to the overlap of two spans skip most of the words a
+// full-width scan would touch.
+func (b *BitSet) WordSpan() (lo, hi int) {
+	hi = len(b.words)
+	for lo < hi && b.words[lo] == 0 {
+		lo++
+	}
+	for hi > lo && b.words[hi-1] == 0 {
+		hi--
+	}
+	return lo, hi
+}
+
+// IntersectsSpan is Intersects restricted to words [lo, hi) — callers
+// pass the overlap of the two sets' WordSpans for the same answer at a
+// fraction of the scan.
+func (b *BitSet) IntersectsSpan(o *BitSet, lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectCountSpan is IntersectCount restricted to words [lo, hi).
+func (b *BitSet) IntersectCountSpan(o *BitSet, lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
 // Or merges o into b.
 func (b *BitSet) Or(o *BitSet) {
 	for i, w := range o.words {
@@ -101,8 +150,16 @@ func (b *BitSet) Clone() *BitSet {
 // itself plus everything reachable backward through combinational gates,
 // stopping at (and including) sources and flip-flop outputs.
 func (n *Netlist) FaninCone(id SignalID) *BitSet {
+	cone, _ := n.faninCone(id, nil)
+	return cone
+}
+
+// faninCone is FaninCone with a caller-owned DFS stack: the traversal
+// appends into it and hands it back so batch builders (NewConeSet workers)
+// amortize one stack allocation across many cones.
+func (n *Netlist) faninCone(id SignalID, stack []SignalID) (*BitSet, []SignalID) {
 	cone := NewBitSet(len(n.Gates))
-	stack := []SignalID{id}
+	stack = append(stack[:0], id)
 	cone.Set(id)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
@@ -118,7 +175,7 @@ func (n *Netlist) FaninCone(id SignalID) *BitSet {
 			}
 		}
 	}
-	return cone
+	return cone, stack
 }
 
 // FanoutCone returns the combinational fan-out cone of a signal: the signal
@@ -127,8 +184,15 @@ func (n *Netlist) FaninCone(id SignalID) *BitSet {
 // included as the stopping point; its own fanout is not traversed.
 func (n *Netlist) FanoutCone(id SignalID) *BitSet {
 	n.ensureDerived()
+	cone, _ := n.fanoutCone(id, nil)
+	return cone
+}
+
+// fanoutCone is FanoutCone with a caller-owned DFS stack (see faninCone).
+// The caller must have run ensureDerived already.
+func (n *Netlist) fanoutCone(id SignalID, stack []SignalID) (*BitSet, []SignalID) {
 	cone := NewBitSet(len(n.Gates))
-	stack := []SignalID{id}
+	stack = append(stack[:0], id)
 	cone.Set(id)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
@@ -143,29 +207,57 @@ func (n *Netlist) FanoutCone(id SignalID) *BitSet {
 			}
 		}
 	}
-	return cone
+	return cone, stack
 }
 
 // ConeSet holds the precomputed fan-in and fan-out cones for the signals
 // the WCM flow cares about (flip-flops and TSV endpoints). Building cones
 // once up front turns every pairwise overlap test during graph construction
 // into a cheap bitset intersection.
+//
+// Concurrency: lookups of precomputed signals are read-only and safe from
+// any number of goroutines. Looking up a signal that was NOT precomputed
+// fills the cache and is not safe concurrently — parallel consumers must
+// restrict themselves to the signals the set was built with.
 type ConeSet struct {
 	netlist *Netlist
 	fanin   map[SignalID]*BitSet
 	fanout  map[SignalID]*BitSet
 }
 
-// NewConeSet precomputes cones for the given signals.
+// NewConeSet precomputes cones for the given signals, using every core.
 func NewConeSet(n *Netlist, signals []SignalID) *ConeSet {
+	return NewConeSetWorkers(n, signals, 0)
+}
+
+// NewConeSetWorkers is NewConeSet over a bounded worker pool (<= 0 means
+// GOMAXPROCS). Each cone is an independent read-only traversal of the
+// netlist, so the per-signal DFS fans out across workers; each worker
+// reuses one DFS stack across all the cones it builds. The result is
+// identical for every worker count.
+func NewConeSetWorkers(n *Netlist, signals []SignalID, workers int) *ConeSet {
 	cs := &ConeSet{
 		netlist: n,
 		fanin:   make(map[SignalID]*BitSet, len(signals)),
 		fanout:  make(map[SignalID]*BitSet, len(signals)),
 	}
-	for _, s := range signals {
-		cs.fanin[s] = n.FaninCone(s)
-		cs.fanout[s] = n.FanoutCone(s)
+	// The fanout index is built lazily under a plain flag; force it here so
+	// the workers only ever read derived state.
+	n.ensureDerived()
+	w := par.Workers(workers, len(signals))
+	fi := make([]*BitSet, len(signals))
+	fo := make([]*BitSet, len(signals))
+	stacks := make([][]SignalID, w)
+	par.Do(w, len(signals), func(worker, i int) {
+		s := signals[i]
+		stack := stacks[worker]
+		fi[i], stack = n.faninCone(s, stack)
+		fo[i], stack = n.fanoutCone(s, stack)
+		stacks[worker] = stack
+	})
+	for i, s := range signals {
+		cs.fanin[s] = fi[i]
+		cs.fanout[s] = fo[i]
 	}
 	return cs
 }

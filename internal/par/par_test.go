@@ -1,4 +1,4 @@
-package experiments
+package par
 
 import (
 	"context"
@@ -14,7 +14,7 @@ func (e errIndexed) Error() string { return "item " + string(rune('0'+int(e))) }
 
 func TestForEachIndexErrorAndPanic(t *testing.T) {
 	// Errors surface deterministically by index order.
-	err := forEachIndex(context.Background(), 8, func(_ context.Context, i int) error {
+	err := ForEachIndex(context.Background(), 8, func(_ context.Context, i int) error {
 		if i == 3 || i == 6 {
 			return errIndexed(i)
 		}
@@ -24,7 +24,7 @@ func TestForEachIndexErrorAndPanic(t *testing.T) {
 		t.Errorf("err = %v, want item 3", err)
 	}
 	// Panics become errors instead of killing the process.
-	err = forEachIndex(context.Background(), 4, func(_ context.Context, i int) error {
+	err = ForEachIndex(context.Background(), 4, func(_ context.Context, i int) error {
 		if i == 2 {
 			panic("boom")
 		}
@@ -37,7 +37,7 @@ func TestForEachIndexErrorAndPanic(t *testing.T) {
 
 func TestForEachIndexRunsAll(t *testing.T) {
 	hit := make([]bool, 37)
-	if err := forEachIndex(context.Background(), len(hit), func(_ context.Context, i int) error {
+	if err := ForEachIndex(context.Background(), len(hit), func(_ context.Context, i int) error {
 		hit[i] = true
 		return nil
 	}); err != nil {
@@ -54,7 +54,7 @@ func TestForEachIndexDeterministicUnderConcurrentFailures(t *testing.T) {
 	// Many rounds, many simultaneous failures: the reported error must be
 	// the lowest-index one every time, regardless of completion order.
 	for round := 0; round < 50; round++ {
-		err := forEachIndex(context.Background(), 16, func(_ context.Context, i int) error {
+		err := ForEachIndex(context.Background(), 16, func(_ context.Context, i int) error {
 			if i >= 2 {
 				return errIndexed(i)
 			}
@@ -71,7 +71,7 @@ func TestForEachIndexErrorAbortsQueuedWork(t *testing.T) {
 	// at index 10, no further item may run.
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	var ran atomic.Int64
-	err := forEachIndex(context.Background(), 100, func(_ context.Context, i int) error {
+	err := ForEachIndex(context.Background(), 100, func(_ context.Context, i int) error {
 		ran.Add(1)
 		if i == 10 {
 			return errIndexed(0)
@@ -91,7 +91,7 @@ func TestForEachIndexParentCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var ran atomic.Int64
-	err := forEachIndex(ctx, 1000, func(_ context.Context, i int) error {
+	err := ForEachIndex(ctx, 1000, func(_ context.Context, i int) error {
 		ran.Add(1)
 		if i == 5 {
 			cancel()
@@ -106,7 +106,7 @@ func TestForEachIndexParentCancellation(t *testing.T) {
 	}
 	// A context cancelled before the call runs nothing at all.
 	ran.Store(0)
-	err = forEachIndex(ctx, 4, func(_ context.Context, i int) error {
+	err = ForEachIndex(ctx, 4, func(_ context.Context, i int) error {
 		ran.Add(1)
 		return nil
 	})
@@ -123,7 +123,7 @@ func TestForEachIndexCancellationDoesNotShadowRootCause(t *testing.T) {
 		t.Skip("needs >= 2 workers")
 	}
 	n := runtime.GOMAXPROCS(0)
-	err := forEachIndex(context.Background(), n, func(ctx context.Context, i int) error {
+	err := ForEachIndex(context.Background(), n, func(ctx context.Context, i int) error {
 		if i == n-1 {
 			return errors.New("root cause")
 		}

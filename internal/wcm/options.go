@@ -135,8 +135,16 @@ type Options struct {
 	// partitioner (ablation knob; the paper uses minimum degree).
 	Merge MergePolicy
 	// Testability estimates the cost of overlapped-cone sharing; nil
-	// defaults to the structural estimator.
+	// defaults to the structural estimator. When Workers permits
+	// parallelism the evaluator is called from multiple goroutines at
+	// once, so a custom implementation must be safe for concurrent use
+	// (the default structural estimator is).
 	Testability Evaluator
+	// Workers bounds the worker pool a single Run uses for cone and edge
+	// construction. 0 (or negative) means GOMAXPROCS; 1 forces the fully
+	// serial path. The produced plan and statistics are bit-identical at
+	// every setting — parallelism changes latency only.
+	Workers int
 }
 
 // MergePolicy selects how Algorithm 2 picks the next pair to merge.

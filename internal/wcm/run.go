@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wcm3d/internal/netlist"
+	"wcm3d/internal/par"
 	"wcm3d/internal/scan"
 	"wcm3d/internal/wcmgraph"
 )
@@ -82,16 +83,63 @@ type phaseRunner struct {
 	cones      *netlist.ConeSet
 	sourceMask *netlist.BitSet // sources excluded from cone-overlap tests
 	graph      *wcmgraph.Graph
-	nodeFF     []netlist.SignalID // graph node id -> FF (or InvalidSignal)
+	// nodeCone and nodeAnchor index the sharing-relevant cone and anchor
+	// signal by graph node id, so the O(n²) edge sweep does two array
+	// loads per pair instead of map lookups. nodeMasked is the cone with
+	// shared-source signals already stripped (cone &^ sourceMask) and
+	// nodeLo/nodeHi its non-zero word span: the pair test then scans one
+	// AND over the overlap of two short spans instead of a full-width
+	// double-mask pass, with bit-identical answers. Valid for the initial
+	// (pre-merge) nodes only — exactly the ones the sweep visits.
+	nodeCone   []*netlist.BitSet
+	nodeMasked []*netlist.BitSet
+	nodeLo     []int32
+	nodeHi     []int32
+	nodeAnchor []netlist.SignalID
 }
 
 func (ph *phaseRunner) run(asn *scan.Assignment) (PhaseStats, error) {
 	stats := PhaseStats{Inbound: ph.inbound}
+	_, excluded, err := ph.buildGraph(&stats)
+	if err != nil {
+		return stats, err
+	}
+
+	// ----- Heuristic clique partitioning (Algorithm 2).
+	if err := ph.partition(&stats); err != nil {
+		return stats, err
+	}
+
+	// ----- Plan assembly.
+	for _, cid := range ph.graph.Cliques() {
+		node := ph.graph.Node(cid)
+		if len(node.Members) == 0 {
+			continue // unused flip-flop
+		}
+		stats.Cliques++
+		ffSig := netlist.InvalidSignal
+		if node.HasFF {
+			ffSig = netlist.SignalID(node.FF)
+			ph.available[ffSig] = false
+		}
+		ph.emitGroup(asn, ffSig, node.Members)
+	}
+	for _, i := range excluded {
+		ph.emitGroup(asn, netlist.InvalidSignal, []int32{int32(i)})
+	}
+	return stats, nil
+}
+
+// buildGraph runs Algorithm 1 end to end — item collection and node
+// filters, cone precomputation, node construction, and the parallel edge
+// sweep — leaving the constructed sharing graph in ph.graph. It returns
+// the item indices that entered the graph and the ones excluded to
+// dedicated cells. Split from run so the graph-construction hot path can
+// be measured (BenchmarkGraphBuild) apart from the partitioner.
+func (ph *phaseRunner) buildGraph(stats *PhaseStats) (items, excluded []int, err error) {
 	n := ph.in.Netlist
 
 	// ----- Item collection and node filters (Algorithm 1, lines 1-14).
-	var excluded []int // item indices filtered out -> dedicated cells
-	var items []int    // item indices entering the graph
 	if ph.inbound {
 		for _, t := range n.InboundTSVs() {
 			ph.tsvSignals = append(ph.tsvSignals, t)
@@ -149,7 +197,7 @@ func (ph *phaseRunner) run(asn *scan.Assignment) (PhaseStats, error) {
 			}
 		}
 	}
-	ph.cones = netlist.NewConeSet(n, coneSignals)
+	ph.cones = netlist.NewConeSetWorkers(n, coneSignals, ph.opts.Workers)
 	ph.sourceMask = netlist.NewBitSet(n.NumGates())
 	for i := range n.Gates {
 		id := netlist.SignalID(i)
@@ -169,10 +217,9 @@ func (ph *phaseRunner) run(asn *scan.Assignment) (PhaseStats, error) {
 		ph.fillTSVNode(&node, i)
 		id, err := ph.graph.AddNode(node)
 		if err != nil {
-			return stats, err
+			return nil, nil, err
 		}
 		tsvNode[i] = id
-		ph.nodeFF = append(ph.nodeFF, netlist.InvalidSignal)
 	}
 	ffNode := make([]int, 0, len(ffs))
 	for _, ff := range ffs {
@@ -180,59 +227,73 @@ func (ph *phaseRunner) run(asn *scan.Assignment) (PhaseStats, error) {
 		ph.fillFFNode(&node, ff)
 		id, err := ph.graph.AddNode(node)
 		if err != nil {
-			return stats, err
+			return nil, nil, err
 		}
 		ffNode = append(ffNode, id)
-		ph.nodeFF = append(ph.nodeFF, ff)
 	}
 	stats.Nodes = ph.graph.NumAlive()
 
-	// ----- Edge construction (Algorithm 1, lines 16-26).
-	addPair := func(a, b int) {
-		ok, overlap := ph.edgeAllowed(a, b)
-		if !ok {
-			return
+	// ----- Edge construction (Algorithm 1, lines 16-26). The pair space
+	// is O(items × (items + ffs)) evaluations of edgeAllowed — pure reads
+	// over the precomputed cones and node fields — so rows are striped
+	// across a worker pool, each worker writing verdicts into its rows of
+	// a flat buffer. The verdicts are then applied to the graph in the
+	// serial (i, j) order, so the graph and the running stats come out
+	// byte-identical at every worker count.
+	nNodes := len(items) + len(ffs)
+	ph.nodeCone = make([]*netlist.BitSet, nNodes)
+	ph.nodeMasked = make([]*netlist.BitSet, nNodes)
+	ph.nodeLo = make([]int32, nNodes)
+	ph.nodeHi = make([]int32, nNodes)
+	ph.nodeAnchor = make([]netlist.SignalID, nNodes)
+	for id := 0; id < nNodes; id++ {
+		ph.nodeCone[id] = ph.coneOf(id)
+		ph.nodeAnchor[id] = ph.anchor(id)
+	}
+	par.Do(ph.opts.Workers, nNodes, func(_, id int) {
+		m := ph.nodeCone[id].AndNot(ph.sourceMask)
+		lo, hi := m.WordSpan()
+		ph.nodeMasked[id] = m
+		ph.nodeLo[id], ph.nodeHi[id] = int32(lo), int32(hi)
+	})
+	offs := make([]int, len(items)+1)
+	for i := 0; i < len(items); i++ {
+		offs[i+1] = offs[i] + (len(items) - 1 - i) + len(ffNode)
+	}
+	verdicts := make([]uint8, offs[len(items)])
+	par.Do(ph.opts.Workers, len(items), func(_, i int) {
+		k := offs[i]
+		for j := i + 1; j < len(items); j++ {
+			verdicts[k] = ph.edgeVerdict(tsvNode[items[i]], tsvNode[items[j]])
+			k++
 		}
-		if overlap {
+		for _, fid := range ffNode {
+			verdicts[k] = ph.edgeVerdict(tsvNode[items[i]], fid)
+			k++
+		}
+	})
+	apply := func(a, b int, v uint8) {
+		switch v {
+		case edgeClean:
+			ph.graph.AddEdge(a, b)
+		case edgeOverlap:
 			ph.graph.AddOverlapEdge(a, b)
 			stats.OverlapEdges++
-		} else {
-			ph.graph.AddEdge(a, b)
 		}
 	}
 	for i := 0; i < len(items); i++ {
+		k := offs[i]
 		for j := i + 1; j < len(items); j++ {
-			addPair(tsvNode[items[i]], tsvNode[items[j]])
+			apply(tsvNode[items[i]], tsvNode[items[j]], verdicts[k])
+			k++
 		}
 		for _, fid := range ffNode {
-			addPair(tsvNode[items[i]], fid)
+			apply(tsvNode[items[i]], fid, verdicts[k])
+			k++
 		}
 	}
 	stats.Edges = ph.graph.NumEdges()
-
-	// ----- Heuristic clique partitioning (Algorithm 2).
-	if err := ph.partition(&stats); err != nil {
-		return stats, err
-	}
-
-	// ----- Plan assembly.
-	for _, cid := range ph.graph.Cliques() {
-		node := ph.graph.Node(cid)
-		if len(node.Members) == 0 {
-			continue // unused flip-flop
-		}
-		stats.Cliques++
-		ffSig := netlist.InvalidSignal
-		if node.HasFF {
-			ffSig = netlist.SignalID(node.FF)
-			ph.available[ffSig] = false
-		}
-		ph.emitGroup(asn, ffSig, node.Members)
-	}
-	for _, i := range excluded {
-		ph.emitGroup(asn, netlist.InvalidSignal, []int32{int32(i)})
-	}
-	return stats, nil
+	return items, excluded, nil
 }
 
 // fillTSVNode initializes load/budget/position for a TSV node.
@@ -319,7 +380,29 @@ func (ph *phaseRunner) ffEligible(ff netlist.SignalID) bool {
 	return muxDelay <= ph.in.Timing.SlackPS(d)-ph.opts.SlackThPS
 }
 
+// Edge verdicts recorded by the parallel sweep and replayed serially.
+const (
+	edgeNone uint8 = iota
+	edgeClean
+	edgeOverlap
+)
+
+// edgeVerdict evaluates one pair for the parallel sweep.
+func (ph *phaseRunner) edgeVerdict(a, b int) uint8 {
+	ok, overlap := ph.edgeAllowed(a, b)
+	switch {
+	case !ok:
+		return edgeNone
+	case overlap:
+		return edgeOverlap
+	default:
+		return edgeClean
+	}
+}
+
 // edgeAllowed evaluates Algorithm 1's edge conditions for two graph nodes.
+// It performs only reads (graph nodes, precomputed cones, the netlist), so
+// the edge sweep may call it from many workers at once.
 func (ph *phaseRunner) edgeAllowed(a, b int) (ok, overlap bool) {
 	na, nb := ph.graph.Node(a), ph.graph.Node(b)
 	// Distance threshold: the merged clique's span must stay within d_th
@@ -335,21 +418,24 @@ func (ph *phaseRunner) edgeAllowed(a, b int) (ok, overlap bool) {
 		return false, false
 	}
 	// Cone conditions.
-	ca := ph.coneOf(a)
-	cb := ph.coneOf(b)
-	if ph.sameAnchor(a, b) {
+	if ph.nodeAnchor[a] == ph.nodeAnchor[b] {
 		return false, false // identical signal: XOR folding would cancel
 	}
 	// Overlap means shared combinational logic; shared sources (a PI
 	// feeding both cones, a flip-flop read by both) are independently
-	// controllable and do not make sharing unsafe by themselves.
-	if !ca.IntersectsExcluding(cb, ph.sourceMask) {
+	// controllable and do not make sharing unsafe by themselves — the
+	// precomputed masked cones have sources already stripped, and the
+	// scan is bounded to the overlap of the two cones' word spans.
+	lo, hi := maxI32(ph.nodeLo[a], ph.nodeLo[b]), minI32(ph.nodeHi[a], ph.nodeHi[b])
+	ca := ph.nodeMasked[a]
+	cb := ph.nodeMasked[b]
+	if lo >= hi || !ca.IntersectsSpan(cb, int(lo), int(hi)) {
 		return true, false
 	}
 	if !ph.opts.AllowOverlap {
 		return false, false
 	}
-	shared := ca.IntersectCountExcluding(cb, ph.sourceMask)
+	shared := ca.IntersectCountSpan(cb, int(lo), int(hi))
 	covLoss, patInc := ph.opts.Testability.SharePenalty(ph.in.Netlist, shared)
 	if covLoss < ph.opts.CovThFrac && patInc < ph.opts.PatThCount {
 		return true, true
@@ -375,12 +461,9 @@ func (ph *phaseRunner) coneOf(id int) *netlist.BitSet {
 	return ph.cones.Fanin(sig)
 }
 
-// sameAnchor reports whether two nodes anchor on the same signal (possible
-// on the outbound side when a flip-flop's D driver also feeds a TSV port).
-func (ph *phaseRunner) sameAnchor(a, b int) bool {
-	return ph.anchor(a) == ph.anchor(b)
-}
-
+// anchor returns the signal a node anchors on. Two nodes can share an
+// anchor on the outbound side, when a flip-flop's D driver also feeds a
+// TSV port; such pairs never get an edge.
 func (ph *phaseRunner) anchor(id int) netlist.SignalID {
 	node := ph.graph.Node(id)
 	if node.HasFF {
@@ -478,6 +561,20 @@ func (ph *phaseRunner) emitGroup(asn *scan.Assignment, ff netlist.SignalID, memb
 
 func minF(a, b float64) float64 {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
 		return a
 	}
 	return b

@@ -14,7 +14,7 @@ import (
 )
 
 // prep builds a placed, timed die with the given profile knobs.
-func prep(t *testing.T, gates, ffsN, in, out int, seed int64) Input {
+func prep(t testing.TB, gates, ffsN, in, out int, seed int64) Input {
 	t.Helper()
 	n, err := netgen.Random(netgen.RandomOptions{
 		Gates: gates, FFs: ffsN, PIs: 5, POs: 3,

@@ -67,15 +67,130 @@ type Graph struct {
 	words int        // words per adjacency row (fixed capacity)
 	cap   int        // max node ids
 	edges int
+	// degIdx indexes live positive-degree nodes by degree so the
+	// partitioner's min-degree selection is near-O(1) instead of a scan
+	// over all nodes per merge. First axis: plane (all edges, clean
+	// edges); second axis: whether flip-flop nodes are filtered out.
+	// Every degree mutation flows through bumpDeg/bumpCleanDeg to keep
+	// the four views consistent.
+	degIdx [2][2]degIndex
 }
+
+// Index axes for degIdx.
+const (
+	planeAll   = 0
+	planeClean = 1
+)
 
 // New creates a graph able to hold up to initialNodes original nodes plus
 // all merge products (capacity 2×initialNodes).
 func New(initialNodes int) *Graph {
 	capIDs := 2*initialNodes + 1
-	return &Graph{
+	g := &Graph{
 		words: (capIDs + 63) / 64,
 		cap:   capIDs,
+	}
+	for p := range g.degIdx {
+		for f := range g.degIdx[p] {
+			g.degIdx[p][f].init(capIDs)
+		}
+	}
+	return g
+}
+
+// degIndex is one degree-bucket view: a bitset of node ids per degree
+// value, plus a lazily-advanced minimum-degree cursor. Membership is
+// "alive with positive degree in this view's plane" (and non-FF for the
+// filtered views). add/remove are O(1); min is O(row words) on the lowest
+// non-empty bucket.
+type degIndex struct {
+	words   int
+	counts  []int32
+	buckets [][]uint64
+	size    int
+	minDeg  int32
+}
+
+func (x *degIndex) init(capIDs int) {
+	x.words = (capIDs + 63) / 64
+	x.minDeg = 1
+}
+
+func (x *degIndex) add(id int, d int32) {
+	for int32(len(x.counts)) <= d {
+		x.counts = append(x.counts, 0)
+		x.buckets = append(x.buckets, nil)
+	}
+	b := x.buckets[d]
+	if b == nil {
+		b = make([]uint64, x.words)
+		x.buckets[d] = b
+	}
+	b[id>>6] |= 1 << (uint(id) & 63)
+	x.counts[d]++
+	x.size++
+	if d < x.minDeg {
+		x.minDeg = d
+	}
+}
+
+func (x *degIndex) remove(id int, d int32) {
+	x.buckets[d][id>>6] &^= 1 << (uint(id) & 63)
+	x.counts[d]--
+	x.size--
+}
+
+// min returns the lowest-id member of the lowest non-empty bucket — the
+// same node a lowest-id-tie-broken linear scan over ascending ids finds.
+func (x *degIndex) min() (int, bool) {
+	if x.size == 0 {
+		return -1, false
+	}
+	d := x.minDeg
+	for x.counts[d] == 0 {
+		d++
+	}
+	x.minDeg = d // removals only raise the minimum; adds lower it eagerly
+	for wi, w := range x.buckets[d] {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w), true
+		}
+	}
+	panic("wcmgraph: degree index count drifted from bucket contents")
+}
+
+// bumpDeg changes a node's all-plane degree by delta, keeping the degree
+// indexes in sync. The node must be alive.
+func (g *Graph) bumpDeg(id int, delta int32) {
+	n := &g.nodes[id]
+	old := n.deg
+	n.deg = old + delta
+	g.reindex(planeAll, id, old, n.deg, n.HasFF)
+}
+
+// bumpCleanDeg is bumpDeg for the clean plane.
+func (g *Graph) bumpCleanDeg(id int, delta int32) {
+	n := &g.nodes[id]
+	old := n.cleanDeg
+	n.cleanDeg = old + delta
+	g.reindex(planeClean, id, old, n.cleanDeg, n.HasFF)
+}
+
+func (g *Graph) reindex(plane, id int, old, cur int32, hasFF bool) {
+	if old == cur {
+		return
+	}
+	if old > 0 {
+		g.degIdx[plane][0].remove(id, old)
+		if !hasFF {
+			g.degIdx[plane][1].remove(id, old)
+		}
+	}
+	if cur > 0 {
+		g.degIdx[plane][0].add(id, cur)
+		if !hasFF {
+			g.degIdx[plane][1].add(id, cur)
+		}
 	}
 }
 
@@ -112,6 +227,7 @@ func (g *Graph) AddNode(n Node) (int, error) {
 		n.Y2 = n.Y
 	}
 	n.alive = true
+	n.deg, n.cleanDeg = 0, 0 // a new node enters the degree indexes via bumpDeg
 	id := len(g.nodes)
 	g.nodes = append(g.nodes, n)
 	g.adj = append(g.adj, make([]uint64, g.words))
@@ -137,14 +253,14 @@ func (g *Graph) addEdge(a, b int, overlap bool) {
 	}
 	g.adj[a][b>>6] |= 1 << (uint(b) & 63)
 	g.adj[b][a>>6] |= 1 << (uint(a) & 63)
-	g.nodes[a].deg++
-	g.nodes[b].deg++
+	g.bumpDeg(a, 1)
+	g.bumpDeg(b, 1)
 	g.edges++
 	if !overlap {
 		g.clean[a][b>>6] |= 1 << (uint(b) & 63)
 		g.clean[b][a>>6] |= 1 << (uint(a) & 63)
-		g.nodes[a].cleanDeg++
-		g.nodes[b].cleanDeg++
+		g.bumpCleanDeg(a, 1)
+		g.bumpCleanDeg(b, 1)
 	}
 }
 
@@ -155,14 +271,14 @@ func (g *Graph) DeleteEdge(a, b int) {
 	}
 	g.adj[a][b>>6] &^= 1 << (uint(b) & 63)
 	g.adj[b][a>>6] &^= 1 << (uint(a) & 63)
-	g.nodes[a].deg--
-	g.nodes[b].deg--
+	g.bumpDeg(a, -1)
+	g.bumpDeg(b, -1)
 	g.edges--
 	if g.clean[a][b>>6]&(1<<(uint(b)&63)) != 0 {
 		g.clean[a][b>>6] &^= 1 << (uint(b) & 63)
 		g.clean[b][a>>6] &^= 1 << (uint(a) & 63)
-		g.nodes[a].cleanDeg--
-		g.nodes[b].cleanDeg--
+		g.bumpCleanDeg(a, -1)
+		g.bumpCleanDeg(b, -1)
 	}
 }
 
@@ -182,19 +298,19 @@ func (g *Graph) Neighbors(id int, fn func(nb int)) {
 func (g *Graph) deleteNode(id int) {
 	g.Neighbors(id, func(nb int) {
 		g.adj[nb][id>>6] &^= 1 << (uint(id) & 63)
-		g.nodes[nb].deg--
+		g.bumpDeg(nb, -1)
 		g.edges--
 		if g.clean[nb][id>>6]&(1<<(uint(id)&63)) != 0 {
 			g.clean[nb][id>>6] &^= 1 << (uint(id) & 63)
-			g.nodes[nb].cleanDeg--
+			g.bumpCleanDeg(nb, -1)
 		}
 	})
 	for i := range g.adj[id] {
 		g.adj[id][i] = 0
 		g.clean[id][i] = 0
 	}
-	g.nodes[id].deg = 0
-	g.nodes[id].cleanDeg = 0
+	g.bumpDeg(id, -g.nodes[id].deg)
+	g.bumpCleanDeg(id, -g.nodes[id].cleanDeg)
 	g.nodes[id].alive = false
 }
 
@@ -224,7 +340,49 @@ func (g *Graph) MinDegreePair() (n1, n2 int, ok bool) {
 	return 0, 0, false
 }
 
+// minDegreePlane picks one tier's pair: n1 from the degree-bucket index
+// (lowest id among the minimal positive degree in the plane, FF-filtered
+// when noFF), then n1's minimum-degree eligible neighbor (lowest id on
+// ties). Selection is identical to the O(n)-scan reference
+// minDegreePlaneScan, which the test suite pins it against.
 func (g *Graph) minDegreePlane(cleanOnly, noFF bool) (n1, n2 int, ok bool) {
+	plane := planeAll
+	if cleanOnly {
+		plane = planeClean
+	}
+	filter := 0
+	if noFF {
+		filter = 1
+	}
+	n1, ok = g.degIdx[plane][filter].min()
+	if !ok {
+		return 0, 0, false
+	}
+	deg := func(i int) int32 {
+		if cleanOnly {
+			return g.nodes[i].cleanDeg
+		}
+		return g.nodes[i].deg
+	}
+	n2 = -1
+	g.neighborsPlane(n1, cleanOnly, func(nb int) {
+		if noFF && g.nodes[nb].HasFF {
+			return
+		}
+		if n2 < 0 || deg(nb) < deg(n2) {
+			n2 = nb
+		}
+	})
+	if n2 < 0 {
+		return 0, 0, false
+	}
+	return n1, n2, true
+}
+
+// minDegreePlaneScan is the pre-index reference implementation: a linear
+// scan over every node per call. Kept (unexported) as the oracle for
+// equivalence tests and the baseline for BenchmarkPartition.
+func (g *Graph) minDegreePlaneScan(cleanOnly, noFF bool) (n1, n2 int, ok bool) {
 	deg := func(i int) int32 {
 		if cleanOnly {
 			return g.nodes[i].cleanDeg
@@ -257,6 +415,19 @@ func (g *Graph) minDegreePlane(cleanOnly, noFF bool) (n1, n2 int, ok bool) {
 		return 0, 0, false
 	}
 	return n1, n2, true
+}
+
+// minDegreePairScan is MinDegreePair over the scan reference — the oracle
+// for the equivalence tests.
+func (g *Graph) minDegreePairScan() (n1, n2 int, ok bool) {
+	for _, tier := range [4]struct{ clean, noFF bool }{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	} {
+		if n1, n2, ok = g.minDegreePlaneScan(tier.clean, tier.noFF); ok {
+			return n1, n2, true
+		}
+	}
+	return 0, 0, false
 }
 
 func (g *Graph) neighborsPlane(id int, cleanOnly bool, fn func(nb int)) {
@@ -346,19 +517,19 @@ func (g *Graph) Merge(a, b int, mergedLoad float64) (int, error) {
 		for x := w; x != 0; x &= x - 1 {
 			nb := wi*64 + bits.TrailingZeros64(x)
 			g.adj[nb][id>>6] |= 1 << (uint(id) & 63)
-			g.nodes[nb].deg++
+			g.bumpDeg(nb, 1)
 			newDeg++
 			g.edges++
 		}
 		for x := cw; x != 0; x &= x - 1 {
 			nb := wi*64 + bits.TrailingZeros64(x)
 			g.clean[nb][id>>6] |= 1 << (uint(id) & 63)
-			g.nodes[nb].cleanDeg++
+			g.bumpCleanDeg(nb, 1)
 			newClean++
 		}
 	}
-	g.nodes[id].deg = newDeg
-	g.nodes[id].cleanDeg = newClean
+	g.bumpDeg(id, newDeg)
+	g.bumpCleanDeg(id, newClean)
 	g.deleteNode(a)
 	g.deleteNode(b)
 	return id, nil
