@@ -1,0 +1,134 @@
+// Command verify independently certifies a wrapper plan: it re-runs the
+// minimization for a die, then hands the finished plan to the from-scratch
+// checker in internal/verify, which re-derives every invariant the paper's
+// flow promises (TSV coverage, clique validity, capacitance and distance
+// budgets, per-reuse timing slack) without sharing code with the optimizer.
+//
+// Usage:
+//
+//	verify -profile b12/1                      # paper benchmark die
+//	verify -netlist die.bench                  # your own die
+//	verify -profile b18/2 -method agrawal -timing loose
+//	verify -profile b12/1 -signoff             # + functional-mode STA
+//	verify -profile b12/1 -deep                # + measured ATPG on overlaps
+//	verify -profile b12/1 -json                # machine-readable report
+//
+// With -json the output is the same VerifyReport schema the wcmd daemon
+// attaches to job results when asked with verify=true (internal/service),
+// so CLI and service output stay in lockstep. The exit status is 0 for a
+// certified plan and 1 when the verifier found violations (or failed to
+// run), so the command slots directly into CI pipelines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wcm3d"
+	"wcm3d/internal/service"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", `Table II die, e.g. "b12/1"`)
+		netPath = flag.String("netlist", "", "path to a .bench die (alternative to -profile)")
+		method  = flag.String("method", "ours", "ours | agrawal | li | fullwrap")
+		timing  = flag.String("timing", "tight", "tight | loose")
+		seed    = flag.Int64("seed", 1, "generation / placement seed")
+		signoff = flag.Bool("signoff", false, "also re-run functional-mode timing signoff")
+		deep    = flag.Bool("deep", false, "also measure overlapped-cone sharing with ATPG (advisory)")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable report (service schema)")
+	)
+	flag.Parse()
+	ok, err := run(os.Stdout, *profile, *netPath, *method, *timing, *seed, *signoff, *deep, *asJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, profile, netPath, methodName, timingName string, seed int64, signoff, deep, asJSON bool) (bool, error) {
+	die, name, err := loadDie(profile, netPath, seed)
+	if err != nil {
+		return false, err
+	}
+	m, err := wcm3d.ParseMethod(methodName)
+	if err != nil {
+		return false, err
+	}
+	mode, err := wcm3d.ParseTimingMode(timingName)
+	if err != nil {
+		return false, err
+	}
+	res, err := wcm3d.Minimize(die, m, mode)
+	if err != nil {
+		return false, fmt.Errorf("%v: %w", m, err)
+	}
+	vres, err := wcm3d.VerifyPlan(die, res, wcm3d.VerifyOptions{Signoff: signoff, Deep: deep})
+	if err != nil {
+		return false, err
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(service.EncodeVerify(vres)); err != nil {
+			return false, err
+		}
+		return vres.OK(), nil
+	}
+	fmt.Fprintf(w, "die %s, method %s, timing %s: plan reuses %d FFs, adds %d cells\n",
+		name, m, mode, res.ReusedFFs, res.AdditionalCells)
+	fmt.Fprintln(w, vres.Summary())
+	for _, v := range vres.Violations {
+		fmt.Fprintf(w, "  violation: %s\n", v)
+	}
+	for _, v := range vres.Warnings {
+		fmt.Fprintf(w, "  warning: %s\n", v)
+	}
+	if signoff {
+		fmt.Fprintf(w, "functional-mode signoff WNS: %.1f ps\n", vres.SignoffWNSPS)
+	}
+	return vres.OK(), nil
+}
+
+func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, string, error) {
+	switch {
+	case profile != "" && netPath != "":
+		return nil, "", fmt.Errorf("pass -profile or -netlist, not both")
+	case profile != "":
+		p, err := wcm3d.ProfileByName(profile)
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := wcm3d.PrepareDie(p, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, p.Name(), nil
+	case netPath != "":
+		f, err := os.Open(netPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		name := strings.TrimSuffix(netPath, ".bench")
+		n, err := wcm3d.ParseNetlist(name, f)
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := wcm3d.PrepareParsed(n, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, name, nil
+	default:
+		return nil, "", fmt.Errorf("pass -profile or -netlist")
+	}
+}

@@ -1,0 +1,130 @@
+package diagnose
+
+import (
+	"testing"
+
+	"wcm3d/internal/faults"
+	"wcm3d/internal/netgen"
+)
+
+// TestLocateRejectsLengthMismatch locks the syndrome/pattern contract: a
+// tester log that does not cover the applied pattern set is an input
+// error, not a silent truncation.
+func TestLocateRejectsLengthMismatch(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	if len(patterns) < 2 {
+		t.Skip("need at least two patterns")
+	}
+	syn := &Syndrome{Failing: make([]bool, len(patterns)-1)}
+	if _, err := Locate(tn, patterns, syn, universe); err == nil {
+		t.Fatal("short syndrome accepted")
+	}
+	syn = &Syndrome{Failing: make([]bool, len(patterns)+3)}
+	if _, err := Locate(tn, patterns, syn, universe); err == nil {
+		t.Fatal("long syndrome accepted")
+	}
+}
+
+// TestLocateEmptyInputs covers the degenerate tester logs: no patterns
+// applied, or no candidate faults to rank. Both diagnose to nothing
+// without error.
+func TestLocateEmptyInputs(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	ranked, err := Locate(tn, nil, &Syndrome{}, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 0 {
+		t.Fatalf("no patterns ranked %d candidates", len(ranked))
+	}
+	ranked, err = Locate(tn, patterns, &Syndrome{Failing: make([]bool, len(patterns))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 0 {
+		t.Fatalf("no candidates ranked %d", len(ranked))
+	}
+}
+
+// TestLocateAllPassingSyndrome is the all-good die: every candidate that
+// predicts any failure at all disagrees with the tester on every one of
+// them, so nothing may rank as an exact match.
+func TestLocateAllPassingSyndrome(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	syn := &Syndrome{Failing: make([]bool, len(patterns))}
+	ranked, err := Locate(tn, patterns, syn, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ranked {
+		if c.Exact() {
+			t.Fatalf("fault %s matches an all-passing syndrome exactly", c.Fault.Describe(tn))
+		}
+		if c.Matched != 0 {
+			t.Fatalf("fault %s matched %d failing patterns of zero", c.Fault.Describe(tn), c.Matched)
+		}
+	}
+}
+
+// TestLocateAllFailingSyndrome is the opposite extreme — a die so broken
+// every pattern failed. Candidates must still rank without error and no
+// candidate can report Extra (there is no passing pattern to disagree on).
+func TestLocateAllFailingSyndrome(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	syn := &Syndrome{Failing: make([]bool, len(patterns))}
+	for i := range syn.Failing {
+		syn.Failing[i] = true
+	}
+	ranked, err := Locate(tn, patterns, syn, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("an all-failing syndrome must leave some candidate standing")
+	}
+	for _, c := range ranked {
+		if c.Extra != 0 {
+			t.Fatalf("fault %s reports %d extra failures with none possible", c.Fault.Describe(tn), c.Extra)
+		}
+	}
+}
+
+// TestTSVSuspectsBounds covers the candidate-budget edge cases: a
+// non-positive or oversized maxFaults means "use every candidate", and an
+// empty ranking implicates nothing.
+func TestTSVSuspectsBounds(t *testing.T) {
+	tn, patterns, universe := wrappedDie(t)
+	truth := universe[0]
+	syn := defectiveSyndrome(t, tn, truth, patterns)
+	if syn.FailCount() == 0 {
+		t.Skip("undetectable truth")
+	}
+	ranked, err := Locate(tn, patterns, syn, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := TSVSuspects(tn, ranked, 0)
+	if got := TSVSuspects(tn, ranked, -5); len(got) != len(all) {
+		t.Errorf("maxFaults=-5 gave %d suspects, maxFaults=0 gave %d", len(got), len(all))
+	}
+	if got := TSVSuspects(tn, ranked, len(ranked)+100); len(got) != len(all) {
+		t.Errorf("oversized maxFaults gave %d suspects, want %d", len(got), len(all))
+	}
+	if got := TSVSuspects(tn, nil, 0); len(got) != 0 {
+		t.Errorf("empty ranking implicated %d TSVs", len(got))
+	}
+}
+
+// TestTSVSuspectsNoTSVs runs suspect mapping on a die with no TSVs at
+// all: nothing can be implicated, whatever the ranking says.
+func TestTSVSuspectsNoTSVs(t *testing.T) {
+	n, err := netgen.Random(netgen.RandomOptions{Gates: 80, FFs: 4, PIs: 4, POs: 2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := faults.CollapsedList(n)
+	ranked := []Candidate{{Fault: universe[0], Matched: 1}}
+	if got := TSVSuspects(n, ranked, 0); len(got) != 0 {
+		t.Fatalf("TSV-free die implicated %v", got)
+	}
+}

@@ -1,0 +1,78 @@
+package netgen
+
+import (
+	"testing"
+
+	"wcm3d/internal/netlist"
+)
+
+// FuzzNetgen hammers the generator with arbitrary profile shapes and holds
+// it to its three contracts: structural validity of every die it emits,
+// exact profile statistics, and byte-identical determinism per (profile,
+// seed). The seeded corpus under testdata/fuzz/FuzzNetgen carries all 24
+// Table II profiles at full size — the body rescales oversized shapes to a
+// fuzz-affordable gate count while preserving the profile's ratios, so
+// every plain `go test` run replays the benchmark suite's shapes through
+// the fuzz harness too.
+func FuzzNetgen(f *testing.F) {
+	for _, p := range ITC99Profiles() {
+		f.Add(p.ScanFFs, p.Gates, p.InboundTSVs, p.OutboundTSVs, p.PIs, p.POs, int64(1))
+	}
+	f.Add(0, 4, 0, 0, 1, 1, int64(3))  // minimum viable die
+	f.Add(7, 64, 0, 9, 0, 0, int64(5)) // defaulted PIs/POs
+	f.Fuzz(func(t *testing.T, ffs, gates, tin, tout, pis, pos int, seed int64) {
+		const maxGates = 4000
+		norm := func(v, bound int) int {
+			if v < 0 {
+				v = -v
+			}
+			if v < 0 { // MinInt
+				v = 1
+			}
+			return v % (bound + 1)
+		}
+		ffs, gates = norm(ffs, 3000), norm(gates, 40000)
+		tin, tout = norm(tin, 3000), norm(tout, 3000)
+		pis, pos = norm(pis, 64), norm(pos, 64)
+		if gates > maxGates {
+			// Preserve the shape's ratios instead of truncating one axis.
+			s := (gates + maxGates - 1) / maxGates
+			gates /= s
+			ffs /= s
+			tin /= s
+			tout /= s
+		}
+		p := Profile{
+			Circuit: "fuzz", ScanFFs: ffs, Gates: gates,
+			InboundTSVs: tin, OutboundTSVs: tout, PIs: pis, POs: pos,
+		}
+		n, err := Generate(p, seed)
+		if err != nil {
+			return // the generator may reject a shape, never emit a bad die
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("generated die fails validation: %v\nprofile %+v seed %d", err, p, seed)
+		}
+		st := netlist.CollectStats(n)
+		wantPIs, wantPOs := pis, pos
+		if wantPIs < 1 {
+			wantPIs = 4
+		}
+		if wantPOs < 1 {
+			wantPOs = 4
+		}
+		if st.ScanFFs != ffs || st.LogicGates != gates ||
+			st.InboundTSVs != tin || st.OutboundTSVs != tout ||
+			st.PIs != wantPIs || st.POs != wantPOs {
+			t.Fatalf("stats %+v do not match profile %+v (PIs/POs defaulted to %d/%d)",
+				st, p, wantPIs, wantPOs)
+		}
+		n2, err := Generate(p, seed)
+		if err != nil {
+			t.Fatalf("second generation rejected an accepted profile: %v", err)
+		}
+		if n.String() != n2.String() {
+			t.Fatalf("same profile+seed generated different dies (%+v, seed %d)", p, seed)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"testing"
+
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+)
+
+// TestPartitionRejectsBadDieCounts locks the input contract: die counts
+// must be a power of two >= 2, and the netlist must have at least one gate
+// per die.
+func TestPartitionRejectsBadDieCounts(t *testing.T) {
+	n := monolith(t, 120, 11)
+	for _, dies := range []int{-2, 1, 3, 5, 6, 12} {
+		if _, err := Partition(n, Options{Dies: dies, Seed: 1}); err == nil {
+			t.Errorf("Dies=%d accepted, want error", dies)
+		}
+	}
+}
+
+func TestPartitionRejectsTooFewGates(t *testing.T) {
+	// The smallest die netgen produces: a handful of gates.
+	n, err := netgen.Random(netgen.RandomOptions{Gates: 4, PIs: 2, POs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(n, Options{Dies: 16, Seed: 1}); err == nil {
+		t.Fatalf("%d gates split into 16 dies accepted, want error", n.NumGates())
+	}
+}
+
+// TestPartitionTinyDie drives the recursion at its floor: a die barely
+// large enough for a bipartition still extracts two valid sub-netlists
+// with every gate accounted for.
+func TestPartitionTinyDie(t *testing.T) {
+	n, err := netgen.Random(netgen.RandomOptions{Gates: 8, PIs: 2, POs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(n, Options{Dies: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dies) != 2 {
+		t.Fatalf("dies = %d, want 2", len(res.Dies))
+	}
+	gates := 0
+	for d, die := range res.Dies {
+		if err := die.Validate(); err != nil {
+			t.Fatalf("die %d: %v", d, err)
+		}
+		gates += die.NumLogicGates() + len(die.FlipFlops())
+	}
+	if gates != n.NumLogicGates()+len(n.FlipFlops()) {
+		t.Errorf("partition lost gates: %d of %d survive", gates, n.NumLogicGates()+len(n.FlipFlops()))
+	}
+}
+
+// TestBondSingleDie is the degenerate stack: one die of a bipartition,
+// nothing to bond against. Every cross-boundary pad stays floating and the
+// result still validates.
+func TestBondSingleDie(t *testing.T) {
+	n := monolith(t, 200, 21)
+	res, err := Partition(n, Options{Dies: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := res.Dies[0]
+	bonded, err := Bond("solo", []*netlist.Netlist{solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bonded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(bonded.InboundTSVs()), len(solo.InboundTSVs()); got != want {
+		t.Errorf("floating pads = %d, want %d (nothing bonds in a one-die stack)", got, want)
+	}
+}

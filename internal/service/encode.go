@@ -76,6 +76,53 @@ type PhaseReport struct {
 	Cliques      int  `json:"cliques"`
 }
 
+// VerifyViolation is the JSON form of one independent-verifier finding.
+type VerifyViolation struct {
+	Code   string  `json:"code"`
+	Where  string  `json:"where,omitempty"`
+	Signal string  `json:"signal,omitempty"`
+	Got    float64 `json:"got,omitempty"`
+	Limit  float64 `json:"limit,omitempty"`
+	Detail string  `json:"detail"`
+}
+
+// VerifyReport is the JSON form of an independent plan verification — the
+// schema shared by wcmd job results (verify=true) and cmd/verify -json.
+type VerifyReport struct {
+	OK         bool              `json:"ok"`
+	Groups     int               `json:"groups"`
+	Pairs      int               `json:"pairs"`
+	ReusedFFs  int               `json:"reused_ffs"`
+	Violations []VerifyViolation `json:"violations,omitempty"`
+	Warnings   []VerifyViolation `json:"warnings,omitempty"`
+}
+
+// EncodeVerify converts a verifier report to its JSON form.
+func EncodeVerify(vr *wcm3d.VerifyResult) *VerifyReport {
+	conv := func(vs []wcm3d.PlanViolation) []VerifyViolation {
+		out := make([]VerifyViolation, 0, len(vs))
+		for _, v := range vs {
+			out = append(out, VerifyViolation{
+				Code:   string(v.Code),
+				Where:  v.Where,
+				Signal: v.Signal,
+				Got:    v.Got,
+				Limit:  v.Limit,
+				Detail: v.Detail,
+			})
+		}
+		return out
+	}
+	return &VerifyReport{
+		OK:         vr.OK(),
+		Groups:     vr.Groups,
+		Pairs:      vr.Pairs,
+		ReusedFFs:  vr.ReusedFFs,
+		Violations: conv(vr.Violations),
+		Warnings:   conv(vr.Warnings),
+	}
+}
+
 // Report is the machine-readable outcome of one minimization run — the
 // schema shared by the wcmd daemon's job results and cmd/wcmflow -json, so
 // CLI and service output stay in lockstep.
@@ -91,6 +138,7 @@ type Report struct {
 	WNSPS           float64            `json:"wns_ps"`
 	StuckAt         *TestabilityReport `json:"stuck_at,omitempty"`
 	TestCycles      int                `json:"test_cycles,omitempty"`
+	Verify          *VerifyReport      `json:"verify,omitempty"`
 }
 
 // EncodeResult builds the Report for a minimization outcome on a die. The

@@ -8,11 +8,12 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs      submit a minimize request (202, 400, 429, 503)
+//	POST   /v1/jobs      submit a minimize request (202, 400, 413, 429, 503);
+//	                     ?verify=true requests independent plan verification
 //	GET    /v1/jobs      list jobs
 //	GET    /v1/jobs/{id} poll one job
 //	DELETE /v1/jobs/{id} cancel one job
-//	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 503)
+//	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 413, 503)
 //	GET    /v1/dies      list cached prepared dies
 //	GET    /healthz      liveness (503 once shutdown begins)
 //	GET    /metrics      expvar-style counters and latency histograms
@@ -33,6 +34,31 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// maxBodyBytes bounds request bodies on the POST endpoints; an inline
+// .bench netlist for the largest Table II die fits comfortably, a runaway
+// upload gets a clean 413 instead of an OOM.
+const maxBodyBytes = 8 << 20
+
+// decodeBody strictly decodes a bounded JSON request body. It writes the
+// error response itself (413 for an oversized body, 400 for anything
+// malformed) and reports whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: "request body too large: " + err.Error()})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -43,11 +69,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	if !decodeBody(w, r, &req) {
 		return
+	}
+	switch r.URL.Query().Get("verify") {
+	case "1", "true":
+		req.Verify = true
 	}
 	st, err := s.Submit(req)
 	switch {
@@ -70,10 +97,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // pipeline.
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	rep, err := s.ScheduleStack(r.Context(), req)

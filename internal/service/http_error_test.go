@@ -1,0 +1,153 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postRaw posts an arbitrary body and returns the status code and response
+// text — the error-path helper, deliberately free of schema assumptions.
+func postRaw(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+// TestSubmitErrorPaths holds POST /v1/jobs to its documented status codes:
+// every malformed or invalid body is a clean client error (400), an
+// oversized body is 413 — never a 500, never a hang.
+func TestSubmitErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", "", http.StatusBadRequest},
+		{"not json", "this is not json", http.StatusBadRequest},
+		{"truncated json", `{"profile": "b11/0"`, http.StatusBadRequest},
+		{"wrong top-level type", `[1, 2, 3]`, http.StatusBadRequest},
+		{"unknown field", `{"profile": "b11/0", "bogus": true}`, http.StatusBadRequest},
+		{"wrong field type", `{"profile": 42}`, http.StatusBadRequest},
+		{"neither profile nor netlist", `{}`, http.StatusBadRequest},
+		{"both profile and netlist", `{"profile": "b11/0", "netlist": "x"}`, http.StatusBadRequest},
+		{"unknown profile", `{"profile": "b99/7"}`, http.StatusBadRequest},
+		{"malformed profile name", `{"profile": "b11"}`, http.StatusBadRequest},
+		{"unknown method", `{"profile": "b11/0", "method": "magic"}`, http.StatusBadRequest},
+		{"unknown timing", `{"profile": "b11/0", "timing": "sorta"}`, http.StatusBadRequest},
+		{"unknown budget", `{"profile": "b11/0", "budget": "infinite"}`, http.StatusBadRequest},
+		{"oversized body", `{"netlist": "` + strings.Repeat("a", maxBodyBytes+1) + `"}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postRaw(t, ts, "/v1/jobs", tc.body)
+			if code != tc.want {
+				t.Fatalf("status = %d, want %d (body %q)", code, tc.want, body)
+			}
+			if !strings.Contains(body, `"error"`) {
+				t.Fatalf("error response carries no error field: %q", body)
+			}
+		})
+	}
+}
+
+// TestScheduleErrorPaths does the same for POST /v1/schedules.
+func TestScheduleErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", "", http.StatusBadRequest},
+		{"not json", "{{{", http.StatusBadRequest},
+		{"unknown field", `{"circuit": "b11", "width": 8, "nope": 1}`, http.StatusBadRequest},
+		{"wrong field type", `{"circuit": "b11", "width": "eight"}`, http.StatusBadRequest},
+		{"missing width", `{"circuit": "b11"}`, http.StatusBadRequest},
+		{"neither circuit nor profiles", `{"width": 8}`, http.StatusBadRequest},
+		{"both circuit and profiles", `{"circuit": "b11", "profiles": ["b11/0"], "width": 8}`,
+			http.StatusBadRequest},
+		{"unknown circuit", `{"circuit": "b99", "width": 8}`, http.StatusBadRequest},
+		{"oversized body", `{"circuit": "` + strings.Repeat("b", maxBodyBytes+1) + `", "width": 8}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postRaw(t, ts, "/v1/schedules", tc.body)
+			if code != tc.want {
+				t.Fatalf("status = %d, want %d (body %q)", code, tc.want, body)
+			}
+			if !strings.Contains(body, `"error"`) {
+				t.Fatalf("error response carries no error field: %q", body)
+			}
+		})
+	}
+}
+
+// TestJobVerifyFlag runs a real job with independent verification requested
+// via the verify=true query parameter and expects a certified VerifyReport
+// attached to the result — and the verify-failure counter untouched.
+func TestJobVerifyFlag(t *testing.T) {
+	svc, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	resp, err := http.Post(ts.URL+"/v1/jobs?verify=true", "application/json",
+		strings.NewReader(`{"profile": "b11/0"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d (%s)", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if code, _, raw := postJob(t, ts, `{"profile": "b11/0", "verify": true}`); code != http.StatusAccepted {
+		t.Fatalf("submit with body flag: status %d (%s)", code, raw)
+	} else {
+		_ = raw
+	}
+	// Wait on the query-flag job (the first submission).
+	var jobs struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts, "/v1/jobs", &jobs); code != http.StatusOK || len(jobs.Jobs) == 0 {
+		t.Fatalf("list jobs: status %d, %d jobs", code, len(jobs.Jobs))
+	}
+	if !jobs.Jobs[0].Request.Verify {
+		t.Fatal("verify=true query parameter did not set the request flag")
+	}
+	st = waitJob(t, ts, jobs.Jobs[0].ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Verify == nil {
+		t.Fatal("result carries no verify report")
+	}
+	if !st.Result.Verify.OK || len(st.Result.Verify.Violations) != 0 {
+		t.Fatalf("plan failed its own verification: %+v", st.Result.Verify.Violations)
+	}
+	if st.Result.Verify.Groups == 0 {
+		t.Fatal("verify report saw no groups")
+	}
+	if got := svc.Metrics().VerifyFailures.Load(); got != 0 {
+		t.Fatalf("verify failures = %d on a certified plan", got)
+	}
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts, "/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap.Verify.Failures != 0 {
+		t.Fatalf("snapshot verify failures = %d", snap.Verify.Failures)
+	}
+	if snap.LatencyMS[StageVerify.String()].Count == 0 {
+		t.Fatal("verify stage latency was not observed")
+	}
+}

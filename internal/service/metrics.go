@@ -23,6 +23,11 @@ type Metrics struct {
 	SchedulesDone   atomic.Int64
 	SchedulesFailed atomic.Int64
 
+	// VerifyFailures counts jobs whose independent verification found
+	// violations — each one is an optimizer/verifier disagreement worth an
+	// operator's attention, even though the job itself still succeeds.
+	VerifyFailures atomic.Int64
+
 	// Die-cache counters. A hit is any request served by an existing entry
 	// (including one still being prepared — the single-flight path); a
 	// miss is a request that triggered a preparation.
@@ -42,6 +47,7 @@ const (
 	StageMinimize              // the WCM solver
 	StageSignoff               // functional-mode timing check
 	StageATPG                  // stuck-at evaluation + chain build
+	StageVerify                // independent plan verification (verify=true)
 	StageTotal                 // whole job, submit-to-finish
 	StageSchedule              // whole stack scheduling run (/v1/schedules)
 	numStages
@@ -57,6 +63,8 @@ func (s Stage) String() string {
 		return "signoff"
 	case StageATPG:
 		return "atpg"
+	case StageVerify:
+		return "verify"
 	case StageTotal:
 		return "total"
 	case StageSchedule:
@@ -158,6 +166,9 @@ type MetricsSnapshot struct {
 		Done   int64 `json:"done"`
 		Failed int64 `json:"failed"`
 	} `json:"schedules"`
+	Verify struct {
+		Failures int64 `json:"failures"`
+	} `json:"verify"`
 	LatencyMS map[string]HistogramSnapshot `json:"latency_ms"`
 }
 
@@ -171,6 +182,7 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Jobs.Rejected = m.JobsRejected.Load()
 	s.Schedules.Done = m.SchedulesDone.Load()
 	s.Schedules.Failed = m.SchedulesFailed.Load()
+	s.Verify.Failures = m.VerifyFailures.Load()
 	s.Cache.Hits = m.CacheHits.Load()
 	s.Cache.Misses = m.CacheMisses.Load()
 	s.Cache.Evictions = m.CacheEvictions.Load()

@@ -74,6 +74,10 @@ type JobRequest struct {
 	ATPG bool `json:"atpg,omitempty"`
 	// Budget is the ATPG effort: full | reduced (default full).
 	Budget string `json:"budget,omitempty"`
+	// Verify asks for an independent re-verification of the plan (see
+	// internal/verify); the report lands in Result.Verify. Also settable
+	// as the verify=true query parameter on POST /v1/jobs.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // Job states.
@@ -463,6 +467,22 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 	rep.SetSignoff(viol, wns)
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+
+	if j.req.Verify {
+		start = time.Now()
+		vres, err := wcm3d.VerifyPlan(die, res, wcm3d.VerifyOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		s.metrics.Observe(StageVerify, time.Since(start))
+		rep.Verify = EncodeVerify(vres)
+		if !vres.OK() {
+			s.metrics.VerifyFailures.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	if j.req.ATPG {

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"wcm3d/internal/experiments"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/wcm"
+)
+
+// TestCertifyWCMPlans is the acceptance gate for the optimizer's own test
+// shapes: every plan `go test ./internal/wcm` exercises — across worker
+// counts 1, 2 and 8 and the main option axes — must certify with zero
+// violations. The parallel sweep promises bit-identical plans at every
+// worker count; the verifier holds each of them to the full contract
+// independently, so a striping bug that slipped past the determinism tests
+// would surface here as a violation.
+func TestCertifyWCMPlans(t *testing.T) {
+	shapes := []struct {
+		gates, ffs, in, out int
+		seed                int64
+	}{
+		{300, 12, 8, 8, 1},
+		{400, 20, 12, 12, 3},
+		{500, 16, 14, 14, 7},
+		{400, 6, 12, 12, 9},
+	}
+	variants := []struct {
+		name string
+		opts func() wcm.Options
+	}{
+		{"ours", wcm.DefaultOptions},
+		{"no-overlap", func() wcm.Options {
+			o := wcm.DefaultOptions()
+			o.AllowOverlap = false
+			return o
+		}},
+		{"agrawal", func() wcm.Options {
+			o := wcm.DefaultOptions()
+			o.Order = wcm.OrderInboundFirst
+			o.Timing = wcm.TimingCapOnly
+			o.AllowOverlap = false
+			return o
+		}},
+		{"first-edge", func() wcm.Options {
+			o := wcm.DefaultOptions()
+			o.Merge = wcm.MergeFirstEdge
+			return o
+		}},
+	}
+	for _, s := range shapes {
+		in := prep(t, s.gates, s.ffs, s.in, s.out, s.seed)
+		for _, v := range variants {
+			for _, workers := range []int{1, 2, 8} {
+				name := fmt.Sprintf("g%d_ff%d_%s_w%d", s.gates, s.ffs, v.name, workers)
+				t.Run(name, func(t *testing.T) {
+					opts := v.opts()
+					opts.Workers = workers
+					runAndVerify(t, in, opts)
+				})
+			}
+		}
+	}
+}
+
+// TestCertifyProfiles certifies the paper's benchmark suite: every Table II
+// die profile, prepared exactly as the experiments pipeline prepares it
+// (margin-derived clock, full-wrap-projected slacks, cross-phase timing
+// refresh), planned with the paper's configuration, then held to its own
+// contract — including functional-mode signoff on the small circuits.
+// Under -short or the race detector only the b11/b12 profiles run; the
+// plain `go test ./...` tier covers all 24.
+func TestCertifyProfiles(t *testing.T) {
+	profiles := netgen.ITC99Profiles()
+	if testing.Short() || raceEnabled {
+		profiles = append(netgen.ITC99Circuit("b11"), netgen.ITC99Circuit("b12")...)
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			d, err := experiments.PrepareDie(p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			small := p.Gates <= 2000
+			for _, sc := range experiments.Scenarios() {
+				if !sc.Tight && !small {
+					continue // one scenario is enough on the big dies
+				}
+				res, err := wcm.Run(d.Input(), experiments.OurOptions(d, sc))
+				if err != nil {
+					t.Fatalf("%s: %v", sc.Name, err)
+				}
+				vres, err := Plan(d.Input(), res.Assignment, Options{
+					Thresholds: &res.Options,
+					Signoff:    small,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", sc.Name, err)
+				}
+				for _, v := range vres.Violations {
+					t.Errorf("%s: %s", sc.Name, v)
+				}
+				if vres.Groups == 0 {
+					t.Errorf("%s: verifier saw no groups", sc.Name)
+				}
+			}
+		})
+	}
+}

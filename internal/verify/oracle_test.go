@@ -1,0 +1,244 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+	"wcm3d/internal/scan"
+	"wcm3d/internal/sta"
+	"wcm3d/internal/wcm"
+)
+
+// tinyDie builds a die small enough for the exhaustive oracle: at most six
+// TSVs per side, with the flip-flop supply cycling through scarce, matched
+// and abundant regimes (the greedy partitioner behaves very differently in
+// each — see docs/VERIFICATION.md). RefreshTiming stays nil so both solvers
+// price both phases against the same base analysis.
+func tinyDie(t testing.TB, seed int64) wcm.Input {
+	t.Helper()
+	rng := seed
+	in := 2 + int(rng%5)       // 2..6
+	out := 2 + int((rng/7)%5)  // 2..6
+	gates := 120 + int(rng%97) // vary the logic around the TSVs
+	ffs := 0
+	switch seed % 3 {
+	case 0: // scarce: reuse is the bottleneck, merging is forced
+		ffs = (in + out) / 2
+	case 1: // matched
+		ffs = in + out
+	case 2: // abundant: merging competes with flip-flop attachment
+		ffs = 3 * (in + out)
+	}
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: gates, FFs: ffs, PIs: 4, POs: 2,
+		InboundTSVs: in, OutboundTSVs: out, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default45nm()
+	pl, err := place.Place(n, place.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sta.Analyze(n, lib, sta.Config{ClockPS: 1e5, Placement: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wcm.Input{Netlist: n, Lib: lib, Placement: pl, Timing: base}
+}
+
+// firstPhaseReuse extracts the flip-flops the heuristic consumed in its
+// first phase, so the oracle's second phase can replay the exact
+// availability the heuristic faced.
+func firstPhaseReuse(res *wcm.Result) []netlist.SignalID {
+	var out []netlist.SignalID
+	if len(res.Phases) == 0 {
+		return out
+	}
+	if res.Phases[0].Inbound {
+		for _, g := range res.Assignment.Control {
+			if g.Reused() {
+				out = append(out, g.ReusedFF)
+			}
+		}
+	} else {
+		for _, g := range res.Assignment.Observe {
+			if g.Reused() {
+				out = append(out, g.ReusedFF)
+			}
+		}
+	}
+	return out
+}
+
+// TestOracleNeverBeatenByHeuristic is the differential acceptance gate: on
+// 200 seeded tiny dies (40 under -short or the race detector) the
+// exhaustive oracle — replaying the heuristic's first-phase flip-flop
+// consumption so each phase optimizes under identical availability — must
+// never need more additional cells than the greedy heuristic. Every seed
+// where it needs strictly fewer is a real suboptimality of Algorithm 2's
+// greedy merging; those are logged and bounded, not failed (see
+// docs/VERIFICATION.md).
+func TestOracleNeverBeatenByHeuristic(t *testing.T) {
+	seeds := 200
+	if testing.Short() || raceEnabled {
+		seeds = 40
+	}
+	gaps := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		in := tinyDie(t, seed)
+		opts := wcm.DefaultOptions()
+		res, err := wcm.Run(in, opts)
+		if err != nil {
+			t.Fatalf("seed %d: heuristic: %v", seed, err)
+		}
+		// Replay mode: the oracle's second phase sees exactly the
+		// flip-flop availability the heuristic faced, which makes
+		// oracle ≤ heuristic a theorem per phase. (Its combined
+		// assignment may double-book a flip-flop between its own first
+		// phase and the replayed second — replay exists for the cell
+		// count, not for a buildable plan.)
+		replay, err := Oracle(in, opts, OracleOptions{ReplayConsumption: firstPhaseReuse(res)})
+		if err != nil {
+			t.Fatalf("seed %d: oracle (replay): %v", seed, err)
+		}
+		if replay.AdditionalCells > res.AdditionalCells {
+			t.Errorf("seed %d: oracle %d cells > heuristic %d — one of them is wrong",
+				seed, replay.AdditionalCells, res.AdditionalCells)
+		}
+		if replay.AdditionalCells < res.AdditionalCells {
+			gaps++
+			t.Logf("seed %d: heuristic gap: oracle %d cells, heuristic %d (reuse %d vs %d)",
+				seed, replay.AdditionalCells, res.AdditionalCells, replay.ReusedFFs, res.ReusedFFs)
+		}
+		// Self-sequential mode consumes its own first-phase matches, so
+		// its combined plan is buildable end to end — certify it and the
+		// heuristic's under the same contract.
+		orc, err := Oracle(in, opts, OracleOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		vres, err := Plan(in, res.Assignment, Options{Thresholds: &res.Options})
+		if err != nil {
+			t.Fatalf("seed %d: verify heuristic: %v", seed, err)
+		}
+		if !vres.OK() {
+			t.Errorf("seed %d: heuristic plan rejected: %v", seed, vres.Violations)
+		}
+		ores, err := Plan(in, orc.Assignment, Options{Thresholds: &res.Options})
+		if err != nil {
+			t.Fatalf("seed %d: verify oracle: %v", seed, err)
+		}
+		if !ores.OK() {
+			t.Errorf("seed %d: oracle plan rejected: %v", seed, ores.Violations)
+		}
+		if err := orc.Assignment.Validate(in.Netlist); err != nil {
+			t.Errorf("seed %d: oracle plan invalid: %v", seed, err)
+		}
+		if !orc.Assignment.Covered(in.Netlist) {
+			t.Errorf("seed %d: oracle plan does not cover every TSV", seed)
+		}
+	}
+	t.Logf("heuristic matched the oracle on %d/%d dies (%d gaps)", seeds-gaps, seeds, gaps)
+	// Measured on these profiles the greedy partitioner misses the
+	// optimum on roughly a third of tiny dies with abundant flip-flops
+	// (it merges TSV cliques so large that no disjoint-cone flip-flop can
+	// attach; see docs/VERIFICATION.md). Bound it at half so a regression
+	// that widens the gap still fails loudly.
+	if gaps > seeds/2 {
+		t.Errorf("heuristic missed the optimum on %d/%d dies — worse than the documented bound (50%%)", gaps, seeds)
+	}
+}
+
+// TestOracleAcrossOrders exercises the oracle under every phase-order
+// policy so its order derivation stays locked to the optimizer's.
+func TestOracleAcrossOrders(t *testing.T) {
+	orders := []wcm.OrderPolicy{
+		wcm.OrderLargerFirst, wcm.OrderSmallerFirst,
+		wcm.OrderInboundFirst, wcm.OrderOutboundFirst,
+	}
+	for _, order := range orders {
+		t.Run(order.String(), func(t *testing.T) {
+			in := tinyDie(t, 23)
+			opts := wcm.DefaultOptions()
+			opts.Order = order
+			res, err := wcm.Run(in, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orc, err := Oracle(in, opts, OracleOptions{ReplayConsumption: firstPhaseReuse(res)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if orc.Phases[0].Inbound != res.Phases[0].Inbound {
+				t.Errorf("oracle phase order %v, heuristic %v", orc.Phases[0].Inbound, res.Phases[0].Inbound)
+			}
+			if orc.AdditionalCells > res.AdditionalCells {
+				t.Errorf("oracle %d cells > heuristic %d", orc.AdditionalCells, res.AdditionalCells)
+			}
+		})
+	}
+}
+
+// TestOracleRejectsOversizedDies locks the exhaustive bound.
+func TestOracleRejectsOversizedDies(t *testing.T) {
+	in := prep(t, 400, 20, DefaultOracleMaxItems+3, 4, 3)
+	_, err := Oracle(in, wcm.DefaultOptions(), OracleOptions{})
+	if err == nil {
+		t.Fatal("oracle must refuse dies beyond its enumeration bound")
+	}
+}
+
+// TestOracleRejectsRefreshTiming locks the parity precondition.
+func TestOracleRejectsRefreshTiming(t *testing.T) {
+	in := tinyDie(t, 5)
+	in.RefreshTiming = func(*scan.Assignment) (*sta.Result, error) { return nil, nil }
+	if _, err := Oracle(in, wcm.DefaultOptions(), OracleOptions{}); err == nil {
+		t.Fatal("oracle must reject a RefreshTiming hook")
+	}
+}
+
+// TestOracleExactOnHandCase pins the solver on a die tiny enough to reason
+// about by hand: with sharing disabled by an impossible cap budget the
+// optimum is one dedicated cell per TSV (minus any flip-flop matches).
+func TestOracleExactOnHandCase(t *testing.T) {
+	in := tinyDie(t, 31)
+	n := in.Netlist
+	opts := wcm.DefaultOptions()
+	opts.CapThFF = 1e-9 // nothing fits with anything
+	orc, err := Oracle(in, opts, OracleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := len(n.InboundTSVs()) + len(n.OutboundTSVs())
+	got := 0
+	for _, g := range orc.Assignment.Control {
+		if len(g.TSVs) != 1 {
+			t.Errorf("cap budget 0 must force singletons, got %d TSVs", len(g.TSVs))
+		}
+		got++
+	}
+	for _, g := range orc.Assignment.Observe {
+		if len(g.Ports) != 1 {
+			t.Errorf("cap budget 0 must force singletons, got %d ports", len(g.Ports))
+		}
+		got++
+	}
+	if got != wantBlocks {
+		t.Errorf("groups = %d, want %d", got, wantBlocks)
+	}
+	// With a zero cap budget no flip-flop can merge either (the attach
+	// merge re-checks the budget), so every cell is dedicated.
+	if orc.ReusedFFs != 0 {
+		t.Errorf("reuse under a zero cap budget: %d", orc.ReusedFFs)
+	}
+	if orc.AdditionalCells != wantBlocks {
+		t.Errorf("cells = %d, want %d", orc.AdditionalCells, wantBlocks)
+	}
+	_ = fmt.Sprintf
+}

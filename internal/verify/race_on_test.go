@@ -1,0 +1,7 @@
+//go:build race
+
+package verify
+
+// raceEnabled lets the certification suite shrink its die set under the
+// race detector, whose 5-20x slowdown would otherwise dominate CI.
+const raceEnabled = true

@@ -189,6 +189,13 @@ func DefaultOptions() Options {
 	}
 }
 
+// WithDefaults returns the effective configuration a Run would use: every
+// zero field replaced by its documented default. Result.Options already
+// echoes this; the exported form lets external checkers (internal/verify)
+// normalize a hand-built Options the same way without re-implementing the
+// defaulting rules.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.CapThFF == 0 {
 		o.CapThFF = 150

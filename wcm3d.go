@@ -47,6 +47,7 @@ import (
 	"wcm3d/internal/scan"
 	"wcm3d/internal/sta"
 	"wcm3d/internal/tam"
+	"wcm3d/internal/verify"
 	"wcm3d/internal/wcm"
 	"wcm3d/internal/wcm/li"
 )
@@ -270,6 +271,35 @@ func OurOptions(d *Die, mode TimingMode) MinimizeOptions {
 // test_en case analysis).
 func CheckTiming(d *Die, asn *Assignment) (violation bool, wnsPS float64, err error) {
 	return experiments.CheckTiming(d, asn)
+}
+
+// VerifyOptions selects what the independent plan verifier checks (see
+// internal/verify).
+type VerifyOptions = verify.Options
+
+// VerifyResult is the verifier's report: violations, warnings and what was
+// checked.
+type VerifyResult = verify.Result
+
+// PlanViolation is one broken invariant found by the verifier.
+type PlanViolation = verify.Violation
+
+// VerifyPlan certifies a minimization result against the die it was
+// planned for, using the from-scratch checker in internal/verify (cone
+// re-traversal, pairwise constraint re-derivation, slack re-pricing — no
+// code shared with the optimizer's hot path). When vo.Thresholds is nil
+// and the result carries an effective configuration (wcm.Run echoes it;
+// Li's matching and full-wrap do not), the result's own options become the
+// contract; otherwise only structure and coverage are checked.
+func VerifyPlan(d *Die, res *MinimizeResult, vo VerifyOptions) (*VerifyResult, error) {
+	if d == nil || res == nil {
+		return nil, fmt.Errorf("wcm3d: VerifyPlan needs a die and a result")
+	}
+	if vo.Thresholds == nil && res.Options.Order != 0 {
+		th := res.Options
+		vo.Thresholds = &th
+	}
+	return verify.Plan(d.Input(), res.Assignment, vo)
 }
 
 // ATPGBudget tunes evaluation effort.
