@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -42,6 +43,12 @@ func main() {
 		cache   = flag.Int("cache", 16, "prepared-die LRU cache capacity")
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
 
+		retention   = flag.Duration("retention", time.Hour, "how long a finished job stays queryable")
+		maxFinished = flag.Int("max-finished", 1024, "finished jobs retained beyond the TTL sweep")
+		gcInterval  = flag.Duration("gc-interval", time.Minute, "retention sweep period")
+		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "server-side cap on per-job/per-schedule timeout_ms")
+		schedConc   = flag.Int("schedule-concurrency", 0, "concurrent schedule runs before 429 (0 = workers)")
+
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "deadline for reading request headers (slowloris guard)")
@@ -49,7 +56,17 @@ func main() {
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
 	)
 	flag.Parse()
-	if err := run(*addr, *pprofAddr, *workers, *queue, *cache, *drain, timeouts{
+	cfg := service.Config{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheCapacity:       *cache,
+		RetentionTTL:        *retention,
+		MaxFinished:         *maxFinished,
+		GCInterval:          *gcInterval,
+		MaxTimeout:          *maxTimeout,
+		ScheduleConcurrency: *schedConc,
+	}
+	if err := run(*addr, *pprofAddr, cfg, *drain, timeouts{
 		readHeader: *readHeaderTimeout,
 		read:       *readTimeout,
 		idle:       *idleTimeout,
@@ -71,31 +88,11 @@ type timeouts struct {
 	idle       time.Duration
 }
 
-func run(addr, pprofAddr string, workers, queue, cache int, drain time.Duration, to timeouts) error {
-	svc := service.New(service.Config{
-		Workers:       workers,
-		QueueDepth:    queue,
-		CacheCapacity: cache,
-	})
-
-	// Profiling endpoints live on their own listener — typically bound to
-	// localhost — so they are never reachable through the service address,
-	// and stay off entirely unless asked for. The handlers are registered
-	// on a private mux rather than relying on net/http/pprof's
-	// DefaultServeMux side effect.
-	if pprofAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("wcmd: pprof listening on %s", pprofAddr)
-			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
-				log.Printf("wcmd: pprof listener: %v", err)
-			}
-		}()
+func run(addr, pprofAddr string, cfg service.Config, drain time.Duration, to timeouts) error {
+	svc := service.New(cfg)
+	pprofSrv, err := startPprof(pprofAddr, to)
+	if err != nil {
+		return err
 	}
 	srv := &http.Server{
 		Addr:              addr,
@@ -113,21 +110,80 @@ func run(addr, pprofAddr string, workers, queue, cache int, drain time.Duration,
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	return serve(svc, srv, pprofSrv, errc, sig, drain)
+}
+
+// startPprof binds the profiling side listener up front — so a bad
+// -pprof-addr is a startup error, not a log line — and returns the server
+// so shutdown can close it. Profiling endpoints live on their own
+// listener, typically bound to localhost, so they are never reachable
+// through the service address; the handlers are registered on a private
+// mux rather than relying on net/http/pprof's DefaultServeMux side effect.
+func startPprof(addr string, to timeouts) (*http.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux, ReadHeaderTimeout: to.readHeader}
+	go func() {
+		log.Printf("wcmd: pprof listening on %s", ln.Addr())
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("wcmd: pprof listener: %v", err)
+		}
+	}()
+	return srv, nil
+}
+
+// serve blocks until a fatal listener error or the shutdown signal
+// sequence: the first signal starts a graceful drain under the deadline,
+// and a second signal during the drain forces immediate shutdown by
+// cancelling the drain context — the abandoned jobs are logged on the way
+// down.
+func serve(svc *service.Service, srv, pprofSrv *http.Server, errc <-chan error, sig <-chan os.Signal, drain time.Duration) error {
 	select {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("wcmd: %v — draining (deadline %s)", s, drain)
+		log.Printf("wcmd: %v — draining (deadline %s; signal again to force shutdown)", s, drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	rep, err := svc.Shutdown(ctx)
-	log.Printf("wcmd: drained: %d done, %d failed, %d canceled", rep.Done, rep.Failed, rep.Canceled)
-	if err != nil {
-		log.Printf("wcmd: drain deadline hit: %v", err)
+	type drained struct {
+		rep service.DrainReport
+		err error
+	}
+	done := make(chan drained, 1)
+	go func() {
+		rep, err := svc.Shutdown(ctx)
+		done <- drained{rep, err}
+	}()
+	var d drained
+	select {
+	case d = <-done:
+	case s := <-sig:
+		log.Printf("wcmd: second %v — forcing immediate shutdown", s)
+		cancel()
+		d = <-done
+	}
+	log.Printf("wcmd: drained: %d done, %d failed, %d canceled", d.rep.Done, d.rep.Failed, d.rep.Canceled)
+	if d.err != nil {
+		log.Printf("wcmd: drain cut short (%v): %d jobs abandoned as canceled", d.err, d.rep.Canceled)
+	}
+	if pprofSrv != nil {
+		_ = pprofSrv.Close()
 	}
 	return srv.Shutdown(context.Background())
 }

@@ -1,17 +1,27 @@
 package main
 
 import (
+	"context"
+	"net/http"
+	"os"
 	"testing"
 	"time"
+
+	"wcm3d"
+	"wcm3d/internal/service"
 )
 
 func defaultTimeouts() timeouts {
 	return timeouts{readHeader: 5 * time.Second, read: 30 * time.Second, idle: 2 * time.Minute}
 }
 
+func smallConfig() service.Config {
+	return service.Config{Workers: 1, QueueDepth: 1, CacheCapacity: 1}
+}
+
 func TestRunRejectsBadAddress(t *testing.T) {
 	errc := make(chan error, 1)
-	go func() { errc <- run("256.256.256.256:99999", "", 1, 1, 1, time.Second, defaultTimeouts()) }()
+	go func() { errc <- run("256.256.256.256:99999", "", smallConfig(), time.Second, defaultTimeouts()) }()
 	select {
 	case err := <-errc:
 		if err == nil {
@@ -19,5 +29,93 @@ func TestRunRejectsBadAddress(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("run did not return on a bad listen address")
+	}
+}
+
+// TestRunRejectsBadPprofAddress: an unbindable -pprof-addr must be a
+// startup error, not a background log line with the daemon limping on
+// unprofiled.
+func TestRunRejectsBadPprofAddress(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run("127.0.0.1:0", "256.256.256.256:99999", smallConfig(), time.Second, defaultTimeouts())
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("bad pprof address must error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return on a bad pprof address")
+	}
+}
+
+// TestPprofLifecycle: the side listener serves pprof pages and dies when
+// the server is closed, instead of living as an unstoppable goroutine.
+func TestPprofLifecycle(t *testing.T) {
+	srv, err := startPprof("127.0.0.1:0", defaultTimeouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + srv.Addr + "/debug/pprof/cmdline"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("pprof not reachable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("pprof still reachable after Close")
+	}
+}
+
+// TestSecondSignalForcesShutdown: with a job stuck in preparation and an
+// hour-long drain deadline, a second SIGINT must abort the drain and bring
+// serve back immediately, with the job accounted as canceled.
+func TestSecondSignalForcesShutdown(t *testing.T) {
+	svc := service.New(service.Config{
+		Workers:    1,
+		QueueDepth: 4,
+		Prepare: func(ctx context.Context, spec service.DieSpec) (*wcm3d.Die, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	st, err := svc.Submit(service.JobRequest{Profile: "b11/0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if j, ok := svc.Job(st.ID); ok && j.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sig := make(chan os.Signal, 2)
+	done := make(chan error, 1)
+	go func() { done <- serve(svc, &http.Server{}, nil, make(chan error), sig, time.Hour) }()
+	sig <- os.Interrupt
+	time.Sleep(50 * time.Millisecond) // let the graceful drain begin
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second signal did not force shutdown")
+	}
+	if j, ok := svc.Job(st.ID); !ok || j.State != service.StateCanceled {
+		t.Fatalf("stuck job after forced shutdown = %+v", j)
 	}
 }

@@ -20,6 +20,11 @@ type DieKey struct {
 // preparation, with latecomers parking on the in-flight entry. Preparation
 // failures are not cached — the entry is removed so a later request
 // retries.
+//
+// Preparations run on a context detached from any single requester, so
+// cancelling one job cannot poison the others parked on the same entry.
+// Each entry refcounts its interested jobs; only when the last one walks
+// away is the in-flight preparation aborted and the entry dropped.
 type dieCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -29,10 +34,12 @@ type dieCache struct {
 }
 
 type cacheEntry struct {
-	key   DieKey
-	ready chan struct{} // closed once die/err are set
-	die   *wcm3d.Die
-	err   error
+	key     DieKey
+	ready   chan struct{} // closed once die/err are set
+	die     *wcm3d.Die
+	err     error
+	waiters int                // jobs currently parked on this entry (guarded by cache mu)
+	abort   context.CancelFunc // cancels the detached preparation context
 }
 
 func newDieCache(capacity int, m *Metrics) *dieCache {
@@ -45,40 +52,76 @@ func newDieCache(capacity int, m *Metrics) *dieCache {
 }
 
 // get returns the cached die for key, preparing it with prepare on a miss.
-// A waiter whose ctx is cancelled stops waiting; the preparation itself
-// keeps running for whoever else wants the entry.
+// A waiter whose ctx is cancelled stops waiting with ctx's error; the
+// preparation itself keeps running for whoever else wants the entry, and is
+// aborted only when every interested job has gone away.
 func (c *dieCache) get(ctx context.Context, key DieKey, prepare func(context.Context) (*wcm3d.Die, error)) (*wcm3d.Die, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
+		e.waiters++
 		c.metrics.CacheHits.Add(1)
 		c.mu.Unlock()
-		select {
-		case <-e.ready:
-			return e.die, e.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		return c.wait(ctx, key, el, e)
 	}
 	c.metrics.CacheMisses.Add(1)
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	prepCtx, abort := context.WithCancel(context.Background())
+	e := &cacheEntry{key: key, ready: make(chan struct{}), waiters: 1, abort: abort}
 	el := c.order.PushFront(e)
 	c.entries[key] = el
 	c.evictLocked()
 	c.mu.Unlock()
 
-	e.die, e.err = prepare(ctx)
-	close(e.ready)
-	if e.err != nil {
+	go func() {
+		die, err := prepare(prepCtx)
 		c.mu.Lock()
-		if cur, ok := c.entries[key]; ok && cur == el {
-			c.order.Remove(el)
-			delete(c.entries, key)
+		e.die, e.err = die, err
+		close(e.ready)
+		if err != nil {
+			if cur, ok := c.entries[key]; ok && cur == el {
+				c.order.Remove(el)
+				delete(c.entries, key)
+			}
 		}
 		c.mu.Unlock()
+		abort() // release the context; the result is already recorded
+	}()
+	return c.wait(ctx, key, el, e)
+}
+
+// wait parks one job on an entry until the preparation completes or the
+// job's own ctx ends. The last job to abandon a still-in-flight entry
+// aborts the preparation and drops the entry so a later request starts
+// fresh.
+func (c *dieCache) wait(ctx context.Context, key DieKey, el *list.Element, e *cacheEntry) (*wcm3d.Die, error) {
+	select {
+	case <-e.ready:
+		c.mu.Lock()
+		e.waiters--
+		c.mu.Unlock()
+		return e.die, e.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 {
+			select {
+			case <-e.ready:
+				// Completed between the cancel and the lock; keep it cached.
+			default:
+				// Nobody is left to consume the result: abort the
+				// preparation and drop the entry.
+				e.abort()
+				if cur, ok := c.entries[key]; ok && cur == el {
+					c.order.Remove(el)
+					delete(c.entries, key)
+					c.metrics.CacheAborts.Add(1)
+				}
+			}
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	return e.die, e.err
 }
 
 // evictLocked drops least-recently-used *completed* entries until the cache

@@ -4,16 +4,17 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /v1/jobs      submit a minimize request (202, 400, 413, 429, 503);
 //	                     ?verify=true requests independent plan verification
-//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs      list retained jobs (?state=<state>&limit=<n>)
 //	GET    /v1/jobs/{id} poll one job
 //	DELETE /v1/jobs/{id} cancel one job
-//	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 413, 503)
+//	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 413, 429, 503)
 //	GET    /v1/dies      list cached prepared dies
 //	GET    /healthz      liveness (503 once shutdown begins)
 //	GET    /metrics      expvar-style counters and latency histograms
@@ -94,7 +95,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // handleSchedule runs a stack scheduling request synchronously: unlike
 // minimize jobs it returns the finished report in the response (200), with
 // the request's context carrying client-disconnect cancellation into the
-// pipeline.
+// pipeline. Admission is bounded — a run beyond the schedule semaphore is
+// bounced with 429 and Retry-After instead of being executed unbounded on
+// the HTTP goroutine.
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
 	if !decodeBody(w, r, &req) {
@@ -102,6 +105,9 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.ScheduleStack(r.Context(), req)
 	switch {
+	case errors.Is(err, ErrScheduleBusy):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case err != nil:
@@ -112,9 +118,26 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := q.Get("state")
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown state " + strconv.Quote(state)})
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "limit must be a non-negative integer"})
+			return
+		}
+		limit = n
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Jobs []JobStatus `json:"jobs"`
-	}{Jobs: s.Jobs()})
+	}{Jobs: s.JobsFiltered(state, limit)})
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {

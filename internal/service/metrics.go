@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -18,10 +20,15 @@ type Metrics struct {
 	JobsRejected atomic.Int64
 	// JobsRunning is a gauge of jobs currently executing.
 	JobsRunning atomic.Int64
+	// JobsPruned counts finished jobs dropped by the retention policy
+	// (TTL expiry or the finished-entries cap).
+	JobsPruned atomic.Int64
 
-	// Schedule counters: synchronous POST /v1/schedules outcomes.
-	SchedulesDone   atomic.Int64
-	SchedulesFailed atomic.Int64
+	// Schedule counters: synchronous POST /v1/schedules outcomes. Rejected
+	// counts runs bounced by the admission semaphore (HTTP 429).
+	SchedulesDone     atomic.Int64
+	SchedulesFailed   atomic.Int64
+	SchedulesRejected atomic.Int64
 
 	// VerifyFailures counts jobs whose independent verification found
 	// violations — each one is an optimizer/verifier disagreement worth an
@@ -30,13 +37,27 @@ type Metrics struct {
 
 	// Die-cache counters. A hit is any request served by an existing entry
 	// (including one still being prepared — the single-flight path); a
-	// miss is a request that triggered a preparation.
+	// miss is a request that triggered a preparation. An abort is an
+	// in-flight preparation cancelled because every interested job went
+	// away before it finished.
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
 	CacheEvictions atomic.Int64
+	CacheAborts    atomic.Int64
 
-	stages [numStages]Histogram
+	stages   [numStages]Histogram
+	outcomes [numStages][numOutcomes]atomic.Int64
 }
+
+// Stage outcomes: how a timed stage ended. Every stage execution is
+// recorded under exactly one outcome, so failed and cancelled runs show up
+// in /metrics latency instead of silently vanishing.
+const (
+	outcomeOK = iota
+	outcomeFailed
+	outcomeCanceled
+	numOutcomes
+)
 
 // Stage labels one timed phase of a job's execution.
 type Stage int
@@ -74,10 +95,25 @@ func (s Stage) String() string {
 	}
 }
 
-// Observe records a stage latency.
+// Observe records a successful stage latency.
 func (m *Metrics) Observe(s Stage, d time.Duration) {
-	if s >= 0 && s < numStages {
-		m.stages[s].Observe(d)
+	m.ObserveOutcome(s, d, nil)
+}
+
+// ObserveOutcome records a stage latency together with how the stage
+// ended: ok (err == nil), canceled (a context error), or failed.
+func (m *Metrics) ObserveOutcome(s Stage, d time.Duration, err error) {
+	if s < 0 || s >= numStages {
+		return
+	}
+	m.stages[s].Observe(d)
+	switch {
+	case err == nil:
+		m.outcomes[s][outcomeOK].Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.outcomes[s][outcomeCanceled].Add(1)
+	default:
+		m.outcomes[s][outcomeFailed].Add(1)
 	}
 }
 
@@ -104,11 +140,15 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumUS.Add(d.Microseconds())
 }
 
-// HistogramSnapshot is the JSON form of one histogram.
+// HistogramSnapshot is the JSON form of one histogram. For stage
+// histograms the outcome counters split Count by how each run ended.
 type HistogramSnapshot struct {
-	Count   int64            `json:"count"`
-	SumMS   float64          `json:"sum_ms"`
-	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Count    int64            `json:"count"`
+	SumMS    float64          `json:"sum_ms"`
+	OK       int64            `json:"ok"`
+	Failed   int64            `json:"failed"`
+	Canceled int64            `json:"canceled"`
+	Buckets  []BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // BucketSnapshot is one cumulative histogram bucket; LeMS <= 0 marks the
@@ -149,11 +189,16 @@ type MetricsSnapshot struct {
 		Failed   int64 `json:"failed"`
 		Canceled int64 `json:"canceled"`
 		Rejected int64 `json:"rejected"`
+		// Retained is a gauge of jobs currently held in the job table;
+		// Pruned counts jobs dropped by the retention policy.
+		Retained int   `json:"retained"`
+		Pruned   int64 `json:"pruned"`
 	} `json:"jobs"`
 	Cache struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
+		Aborts    int64 `json:"aborts"`
 		Entries   int   `json:"entries"`
 		Capacity  int   `json:"capacity"`
 	} `json:"cache"`
@@ -163,8 +208,9 @@ type MetricsSnapshot struct {
 		Workers  int `json:"workers"`
 	} `json:"queue"`
 	Schedules struct {
-		Done   int64 `json:"done"`
-		Failed int64 `json:"failed"`
+		Done     int64 `json:"done"`
+		Failed   int64 `json:"failed"`
+		Rejected int64 `json:"rejected"`
 	} `json:"schedules"`
 	Verify struct {
 		Failures int64 `json:"failures"`
@@ -180,15 +226,22 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Jobs.Failed = m.JobsFailed.Load()
 	s.Jobs.Canceled = m.JobsCanceled.Load()
 	s.Jobs.Rejected = m.JobsRejected.Load()
+	s.Jobs.Pruned = m.JobsPruned.Load()
 	s.Schedules.Done = m.SchedulesDone.Load()
 	s.Schedules.Failed = m.SchedulesFailed.Load()
+	s.Schedules.Rejected = m.SchedulesRejected.Load()
 	s.Verify.Failures = m.VerifyFailures.Load()
 	s.Cache.Hits = m.CacheHits.Load()
 	s.Cache.Misses = m.CacheMisses.Load()
 	s.Cache.Evictions = m.CacheEvictions.Load()
+	s.Cache.Aborts = m.CacheAborts.Load()
 	s.LatencyMS = make(map[string]HistogramSnapshot, numStages)
 	for st := Stage(0); st < numStages; st++ {
-		s.LatencyMS[st.String()] = m.stages[st].snapshot()
+		hs := m.stages[st].snapshot()
+		hs.OK = m.outcomes[st][outcomeOK].Load()
+		hs.Failed = m.outcomes[st][outcomeFailed].Load()
+		hs.Canceled = m.outcomes[st][outcomeCanceled].Load()
+		s.LatencyMS[st.String()] = hs
 	}
 	return s
 }

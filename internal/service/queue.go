@@ -14,6 +14,10 @@ var (
 	// ErrShuttingDown reports a submission after Shutdown began. The HTTP
 	// layer maps it to 503 Service Unavailable.
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrScheduleBusy reports schedule-admission backpressure: every
+	// schedule slot is occupied. The HTTP layer maps it to 429 Too Many
+	// Requests with Retry-After.
+	ErrScheduleBusy = errors.New("service: all schedule slots are busy")
 )
 
 // pool is a bounded job queue drained by a fixed set of workers — the

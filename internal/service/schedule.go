@@ -28,6 +28,10 @@ type ScheduleRequest struct {
 	Timing string `json:"timing,omitempty"`
 	// Budget is the ATPG effort: full | reduced (default full).
 	Budget string `json:"budget,omitempty"`
+	// TimeoutMS bounds the whole scheduling run, in milliseconds. It is
+	// clamped to the server's MaxTimeout cap; 0 means the cap applies
+	// directly.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ScheduleDieReport is one die's contribution to a schedule: its
@@ -105,6 +109,10 @@ func resolveSchedule(req ScheduleRequest) (stack string, profiles []wcm3d.Profil
 		budget = wcm3d.ReducedBudget(seed)
 	default:
 		err = fmt.Errorf("unknown budget %q", req.Budget)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		err = fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
 	}
 	return
 }
@@ -115,6 +123,11 @@ func resolveSchedule(req ScheduleRequest) (stack string, profiles []wcm3d.Profil
 // requested method, graded with stuck-at ATPG for its pattern count, and
 // packed into the TAM plane. The whole run is timed under the "schedule"
 // latency histogram.
+//
+// Admission is governed by a semaphore sized off ScheduleConcurrency: a
+// run beyond it is rejected with ErrScheduleBusy instead of piling an
+// unbounded pipeline onto the caller's goroutine. Each admitted run is
+// bounded by the request's timeout_ms clamped to the MaxTimeout cap.
 func (s *Service) ScheduleStack(ctx context.Context, req ScheduleRequest) (*ScheduleReport, error) {
 	stackName, profiles, method, mode, budget, seed, err := resolveSchedule(req)
 	if err != nil {
@@ -126,10 +139,19 @@ func (s *Service) ScheduleStack(ctx context.Context, req ScheduleRequest) (*Sche
 	if closed {
 		return nil, ErrShuttingDown
 	}
+	select {
+	case s.schedSem <- struct{}{}:
+		defer func() { <-s.schedSem }()
+	default:
+		s.metrics.SchedulesRejected.Add(1)
+		return nil, ErrScheduleBusy
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.effectiveTimeout(req.TimeoutMS))
+	defer cancel()
 
 	start := time.Now()
 	rep, err := s.buildSchedule(ctx, stackName, profiles, method, mode, budget, seed, req.Width)
-	s.metrics.Observe(StageSchedule, time.Since(start))
+	s.metrics.ObserveOutcome(StageSchedule, time.Since(start), err)
 	if err != nil {
 		s.metrics.SchedulesFailed.Add(1)
 		return nil, err
@@ -142,14 +164,7 @@ func (s *Service) buildSchedule(ctx context.Context, stackName string, profiles 
 	stack := make([]wcm3d.StackDie, 0, len(profiles))
 	for _, p := range profiles {
 		spec := DieSpec{Profile: p, Name: p.Name(), Seed: seed}
-		die, err := s.dies.get(ctx, DieKey{Name: spec.Name, Seed: seed}, func(ctx context.Context) (*wcm3d.Die, error) {
-			prepStart := time.Now()
-			d, err := s.cfg.Prepare(ctx, spec)
-			if err == nil {
-				s.metrics.Observe(StagePrepare, time.Since(prepStart))
-			}
-			return d, err
-		})
+		die, err := s.dies.get(ctx, DieKey{Name: spec.Name, Seed: seed}, s.preparer(spec))
 		if err != nil {
 			return nil, fmt.Errorf("prepare %s: %w", spec.Name, err)
 		}

@@ -24,8 +24,26 @@ type Config struct {
 	QueueDepth int
 	// CacheCapacity bounds the prepared-die LRU cache (default: 16).
 	CacheCapacity int
+	// RetentionTTL bounds how long a finished job stays queryable before
+	// the retention sweep drops it (default: 1h).
+	RetentionTTL time.Duration
+	// MaxFinished bounds the number of finished jobs retained in the job
+	// table; the oldest finished entries beyond it are dropped (default:
+	// 1024). Queued and running jobs are never pruned.
+	MaxFinished int
+	// GCInterval is the period of the retention sweep ticker (default:
+	// 1m). Sweeps also run opportunistically on every submission.
+	GCInterval time.Duration
+	// MaxTimeout is the server-side cap on per-job and per-schedule
+	// deadlines; a request's timeout_ms is clamped to it, and a request
+	// without one gets it outright (default: 10m).
+	MaxTimeout time.Duration
+	// ScheduleConcurrency bounds how many POST /v1/schedules runs may
+	// execute at once; excess requests get ErrScheduleBusy (default:
+	// Workers).
+	ScheduleConcurrency int
 	// Prepare builds a die from a spec. Nil uses DefaultPrepare; tests
-	// substitute counting or blocking hooks here.
+	// substitute counting, blocking or failing fault-injection hooks here.
 	Prepare func(ctx context.Context, spec DieSpec) (*wcm3d.Die, error)
 }
 
@@ -78,6 +96,10 @@ type JobRequest struct {
 	// internal/verify); the report lands in Result.Verify. Also settable
 	// as the verify=true query parameter on POST /v1/jobs.
 	Verify bool `json:"verify,omitempty"`
+	// TimeoutMS bounds the job's execution once it starts running, in
+	// milliseconds. It is clamped to the server's MaxTimeout cap; 0 means
+	// the cap applies directly. A job over its deadline is canceled.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Job states.
@@ -131,10 +153,12 @@ type DrainReport struct {
 // and exposes status, health and metrics. Create with New, serve with
 // Handler, stop with Shutdown.
 type Service struct {
-	cfg     Config
-	metrics *Metrics
-	dies    *dieCache
-	pool    *pool
+	cfg      Config
+	metrics  *Metrics
+	dies     *dieCache
+	pool     *pool
+	schedSem chan struct{} // schedule-admission semaphore
+	gcStop   chan struct{} // closed by Shutdown; ends the retention sweeper
 
 	mu     sync.Mutex
 	closed bool
@@ -142,7 +166,7 @@ type Service struct {
 	jobs   map[string]*job
 }
 
-// New builds a Service and starts its worker pool.
+// New builds a Service and starts its worker pool and retention sweeper.
 func New(cfg Config) *Service {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -153,17 +177,36 @@ func New(cfg Config) *Service {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 16
 	}
+	if cfg.RetentionTTL <= 0 {
+		cfg.RetentionTTL = time.Hour
+	}
+	if cfg.MaxFinished <= 0 {
+		cfg.MaxFinished = 1024
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.ScheduleConcurrency <= 0 {
+		cfg.ScheduleConcurrency = cfg.Workers
+	}
 	if cfg.Prepare == nil {
 		cfg.Prepare = DefaultPrepare
 	}
 	m := &Metrics{}
-	return &Service{
-		cfg:     cfg,
-		metrics: m,
-		dies:    newDieCache(cfg.CacheCapacity, m),
-		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		jobs:    make(map[string]*job),
+	s := &Service{
+		cfg:      cfg,
+		metrics:  m,
+		dies:     newDieCache(cfg.CacheCapacity, m),
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		schedSem: make(chan struct{}, cfg.ScheduleConcurrency),
+		gcStop:   make(chan struct{}),
+		jobs:     make(map[string]*job),
 	}
+	go s.gcLoop()
+	return s
 }
 
 // Metrics exposes the counters (tests assert on them).
@@ -220,7 +263,22 @@ func (s *Service) resolve(req JobRequest) (*job, error) {
 	default:
 		return nil, fmt.Errorf("unknown budget %q", req.Budget)
 	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
 	return j, nil
+}
+
+// effectiveTimeout clamps a requested timeout_ms to the server-side cap; a
+// zero request gets the cap directly.
+func (s *Service) effectiveTimeout(ms int64) time.Duration {
+	d := s.cfg.MaxTimeout
+	if ms > 0 {
+		if t := time.Duration(ms) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return d
 }
 
 // Submit validates req and queues it. It returns the queued job's status,
@@ -241,6 +299,7 @@ func (s *Service) Submit(req JobRequest) (JobStatus, error) {
 	j.state = StateQueued
 	j.submitted = time.Now()
 	s.jobs[j.id] = j
+	s.gcLocked(time.Now())
 	s.mu.Unlock()
 
 	if err := s.pool.trySubmit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
@@ -267,8 +326,12 @@ func (s *Service) Job(id string) (JobStatus, bool) {
 	return s.status(j), true
 }
 
-// Jobs lists every known job, oldest first.
-func (s *Service) Jobs() []JobStatus {
+// Jobs lists every retained job, oldest first.
+func (s *Service) Jobs() []JobStatus { return s.JobsFiltered("", 0) }
+
+// JobsFiltered lists retained jobs oldest first, optionally restricted to
+// one state and truncated to the most recent limit entries (0 = no limit).
+func (s *Service) JobsFiltered(state string, limit int) []JobStatus {
 	s.mu.Lock()
 	js := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -276,9 +339,16 @@ func (s *Service) Jobs() []JobStatus {
 	}
 	s.mu.Unlock()
 	sort.Slice(js, func(a, b int) bool { return js[a].id < js[b].id })
-	out := make([]JobStatus, len(js))
-	for i, j := range js {
-		out[i] = s.status(j)
+	out := make([]JobStatus, 0, len(js))
+	for _, j := range js {
+		st := s.status(j)
+		if state != "" && st.State != state {
+			continue
+		}
+		out = append(out, st)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
 	}
 	return out
 }
@@ -318,6 +388,9 @@ func (s *Service) Healthy() bool {
 // Snapshot returns the /metrics document.
 func (s *Service) Snapshot() MetricsSnapshot {
 	snap := s.metrics.snapshot()
+	s.mu.Lock()
+	snap.Jobs.Retained = len(s.jobs)
+	s.mu.Unlock()
 	snap.Cache.Entries = s.dies.len()
 	snap.Cache.Capacity = s.cfg.CacheCapacity
 	snap.Queue.Depth = s.pool.depth()
@@ -326,14 +399,69 @@ func (s *Service) Snapshot() MetricsSnapshot {
 	return snap
 }
 
+// gcLoop runs the retention sweep on a ticker until Shutdown.
+func (s *Service) gcLoop() {
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			s.gcLocked(time.Now())
+			s.mu.Unlock()
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// gcLocked applies the retention policy: finished jobs older than
+// RetentionTTL are dropped, then the oldest finished entries beyond
+// MaxFinished. Queued and running jobs are never touched. Callers hold
+// s.mu.
+func (s *Service) gcLocked(now time.Time) {
+	cutoff := now.Add(-s.cfg.RetentionTTL)
+	finished := make([]*job, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.finished == nil {
+			continue
+		}
+		if j.finished.Before(cutoff) {
+			delete(s.jobs, id)
+			s.metrics.JobsPruned.Add(1)
+			continue
+		}
+		finished = append(finished, j)
+	}
+	n := len(finished) - s.cfg.MaxFinished
+	if n <= 0 {
+		return
+	}
+	sort.Slice(finished, func(a, b int) bool {
+		fa, fb := finished[a], finished[b]
+		if !fa.finished.Equal(*fb.finished) {
+			return fa.finished.Before(*fb.finished)
+		}
+		return fa.id < fb.id
+	})
+	for _, j := range finished[:n] {
+		delete(s.jobs, j.id)
+		s.metrics.JobsPruned.Add(1)
+	}
+}
+
 // Shutdown stops accepting work and drains accepted jobs. If ctx expires
 // before the drain completes, in-flight jobs are cancelled and reported as
 // canceled in the DrainReport — the partial state a supervisor logs on the
 // way down.
 func (s *Service) Shutdown(ctx context.Context) (DrainReport, error) {
 	s.mu.Lock()
+	first := !s.closed
 	s.closed = true
 	s.mu.Unlock()
+	if first {
+		close(s.gcStop)
+	}
 	err := s.pool.shutdown(ctx)
 	var rep DrainReport
 	s.mu.Lock()
@@ -395,14 +523,14 @@ func (s *Service) finishLocked(j *job, state string, rep *Report, err error) {
 	}
 }
 
-// runJob executes one job on a pool worker.
+// runJob executes one job on a pool worker under the job's own deadline.
 func (s *Service) runJob(poolCtx context.Context, j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
 		s.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(poolCtx)
+	ctx, cancel := context.WithTimeout(poolCtx, s.effectiveTimeout(j.req.TimeoutMS))
 	j.cancel = cancel
 	j.state = StateRunning
 	now := time.Now()
@@ -413,14 +541,18 @@ func (s *Service) runJob(poolCtx context.Context, j *job) {
 	s.metrics.JobsRunning.Add(1)
 	start := time.Now()
 	rep, err := s.execute(ctx, j)
-	s.metrics.Observe(StageTotal, time.Since(start))
+	s.metrics.ObserveOutcome(StageTotal, time.Since(start), err)
 	s.metrics.JobsRunning.Add(-1)
 
 	s.mu.Lock()
 	switch {
 	case err == nil:
 		s.finishLocked(j, StateDone, rep, nil)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Canceled only when it was THIS job's context (cancel, deadline
+		// or shutdown) — a context error that bubbled out of shared
+		// machinery while this job is still live is a plain failure, not
+		// someone else's cancellation.
 		s.finishLocked(j, StateCanceled, nil, err)
 	default:
 		s.finishLocked(j, StateFailed, nil, err)
@@ -428,18 +560,23 @@ func (s *Service) runJob(poolCtx context.Context, j *job) {
 	s.mu.Unlock()
 }
 
-// execute runs the minimize pipeline, checking ctx between stages so
-// per-job cancellation and shutdown deadlines take effect at stage
-// boundaries.
-func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
-	die, err := s.dies.get(ctx, DieKey{Name: j.spec.Name, Seed: j.spec.Seed}, func(ctx context.Context) (*wcm3d.Die, error) {
+// preparer wraps cfg.Prepare for one spec with prepare-stage metrics that
+// record every outcome — success, failure and abort alike.
+func (s *Service) preparer(spec DieSpec) func(context.Context) (*wcm3d.Die, error) {
+	return func(ctx context.Context) (*wcm3d.Die, error) {
 		start := time.Now()
-		d, err := s.cfg.Prepare(ctx, j.spec)
-		if err == nil {
-			s.metrics.Observe(StagePrepare, time.Since(start))
-		}
+		d, err := s.cfg.Prepare(ctx, spec)
+		s.metrics.ObserveOutcome(StagePrepare, time.Since(start), err)
 		return d, err
-	})
+	}
+}
+
+// execute runs the minimize pipeline, checking ctx between stages so
+// per-job cancellation, job deadlines and shutdown deadlines take effect
+// at stage boundaries. Every stage records its latency whatever the
+// outcome.
+func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
+	die, err := s.dies.get(ctx, DieKey{Name: j.spec.Name, Seed: j.spec.Seed}, s.preparer(j.spec))
 	if err != nil {
 		return nil, fmt.Errorf("prepare %s: %w", j.spec.Name, err)
 	}
@@ -449,10 +586,10 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 
 	start := time.Now()
 	res, err := wcm3d.Minimize(die, j.method, j.mode)
+	s.metrics.ObserveOutcome(StageMinimize, time.Since(start), err)
 	if err != nil {
 		return nil, fmt.Errorf("minimize: %w", err)
 	}
-	s.metrics.Observe(StageMinimize, time.Since(start))
 	rep := EncodeResult(DescribeDie(j.spec.Name, j.spec.Seed, die), j.method, j.mode, res, die.Lib)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -460,10 +597,10 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 
 	start = time.Now()
 	viol, wns, err := wcm3d.CheckTiming(die, res.Assignment)
+	s.metrics.ObserveOutcome(StageSignoff, time.Since(start), err)
 	if err != nil {
 		return nil, fmt.Errorf("signoff: %w", err)
 	}
-	s.metrics.Observe(StageSignoff, time.Since(start))
 	rep.SetSignoff(viol, wns)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -472,10 +609,10 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 	if j.req.Verify {
 		start = time.Now()
 		vres, err := wcm3d.VerifyPlan(die, res, wcm3d.VerifyOptions{})
+		s.metrics.ObserveOutcome(StageVerify, time.Since(start), err)
 		if err != nil {
 			return nil, fmt.Errorf("verify: %w", err)
 		}
-		s.metrics.Observe(StageVerify, time.Since(start))
 		rep.Verify = EncodeVerify(vres)
 		if !vres.OK() {
 			s.metrics.VerifyFailures.Add(1)
@@ -489,13 +626,14 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 		start = time.Now()
 		tb, err := wcm3d.EvaluateStuckAt(die, res.Assignment, j.budget)
 		if err != nil {
+			s.metrics.ObserveOutcome(StageATPG, time.Since(start), err)
 			return nil, fmt.Errorf("atpg: %w", err)
 		}
 		chains, err := wcm3d.BuildScanChains(die, res.Assignment, 4)
+		s.metrics.ObserveOutcome(StageATPG, time.Since(start), err)
 		if err != nil {
 			return nil, fmt.Errorf("scan chains: %w", err)
 		}
-		s.metrics.Observe(StageATPG, time.Since(start))
 		rep.SetStuckAt(tb, chains.TestCycles(tb.Patterns))
 	}
 	return rep, nil
