@@ -1,0 +1,160 @@
+// Command refine runs the anytime solver portfolio over a greedy
+// minimization result: deterministic local search, seeded simulated
+// annealing, and bounded branch-and-bound race under one wall budget, and
+// the best plan that passes the independent verifier wins. The output is
+// the before/after cell count plus each solver's search statistics.
+//
+// Usage:
+//
+//	refine -profile b12/1                        # paper benchmark die
+//	refine -netlist die.bench                    # your own die
+//	refine -profile b12/1 -budget 10s -seed 7    # deeper, reproducible
+//	refine -profile b12/1 -strategies local,bnb  # subset of the portfolio
+//	refine -profile b12/1 -json                  # machine-readable report
+//
+// With -json the output is the same RefineReport schema the wcmd daemon
+// attaches to job results when asked with refine=true (internal/service).
+// Methods without a threshold contract (li, fullwrap) carry no sharing
+// model to refine and are rejected. The exit status is 0 whether or not
+// the portfolio improved the plan; it is 1 only when the run itself
+// failed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wcm3d"
+	"wcm3d/internal/service"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "", `Table II die, e.g. "b12/1"`)
+		netPath    = flag.String("netlist", "", "path to a .bench die (alternative to -profile)")
+		method     = flag.String("method", "ours", "ours | agrawal (li and fullwrap have no threshold contract)")
+		timing     = flag.String("timing", "tight", "tight | loose")
+		seed       = flag.Int64("seed", 1, "generation / placement seed; also drives the annealer RNG")
+		budget     = flag.Duration("budget", 0, "wall budget for the portfolio (0 = default)")
+		steps      = flag.Int("steps", 0, "per-strategy step budget (0 = per-strategy default; fixed steps make runs reproducible)")
+		strategies = flag.String("strategies", "", `comma-separated subset of "local,anneal,bnb" (empty = all)`)
+		workers    = flag.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS)")
+		asJSON     = flag.Bool("json", false, "emit the machine-readable report (service schema)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *profile, *netPath, *method, *timing, *seed, *budget, *steps, *strategies, *workers, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "refine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, profile, netPath, methodName, timingName string, seed int64, budget time.Duration, steps int, strategyList string, workers int, asJSON bool) error {
+	die, name, err := loadDie(profile, netPath, seed)
+	if err != nil {
+		return err
+	}
+	m, err := wcm3d.ParseMethod(methodName)
+	if err != nil {
+		return err
+	}
+	mode, err := wcm3d.ParseTimingMode(timingName)
+	if err != nil {
+		return err
+	}
+	var opts wcm3d.MinimizeOptions
+	switch m {
+	case wcm3d.MethodOurs:
+		opts = wcm3d.OurOptions(die, mode)
+	case wcm3d.MethodAgrawal:
+		opts = wcm3d.AgrawalOptions(die, mode)
+	default:
+		return fmt.Errorf("method %v carries no threshold contract to refine against", m)
+	}
+	res, err := wcm3d.MinimizeWith(die, opts)
+	if err != nil {
+		return fmt.Errorf("%v: %w", m, err)
+	}
+	ro := wcm3d.RefineOptions{
+		Budget:   budget,
+		Seed:     seed,
+		MaxSteps: steps,
+		Workers:  workers,
+	}
+	if strategyList != "" {
+		for _, s := range strings.Split(strategyList, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				ro.Strategies = append(ro.Strategies, s)
+			}
+		}
+	}
+	rr, err := wcm3d.Refine(context.Background(), die, opts, res, ro)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(service.EncodeRefine(rr))
+	}
+	fmt.Fprintf(w, "die %s, method %s, timing %s: greedy plan adds %d cells\n",
+		name, m, mode, rr.GreedyCells)
+	if rr.Improved {
+		fmt.Fprintf(w, "refined: %d cells (saved %d), %d FFs reused — won by %s\n",
+			rr.AdditionalCells, rr.CellsSaved, rr.ReusedFFs, rr.Strategy)
+	} else {
+		fmt.Fprintln(w, "refined: no verified improvement found within budget")
+	}
+	for _, so := range rr.Strategies {
+		line := fmt.Sprintf("  %-6s %d steps, %d proposed, %d admitted, %d rejected",
+			so.Name, so.Steps, so.Proposed, so.Admitted, so.Rejected)
+		if so.Deadline {
+			line += " (deadline)"
+		}
+		if so.Err != "" {
+			line += " error: " + so.Err
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, string, error) {
+	switch {
+	case profile != "" && netPath != "":
+		return nil, "", fmt.Errorf("pass -profile or -netlist, not both")
+	case profile != "":
+		p, err := wcm3d.ProfileByName(profile)
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := wcm3d.PrepareDie(p, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, p.Name(), nil
+	case netPath != "":
+		f, err := os.Open(netPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		name := strings.TrimSuffix(netPath, ".bench")
+		n, err := wcm3d.ParseNetlist(name, f)
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := wcm3d.PrepareParsed(n, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, name, nil
+	default:
+		return nil, "", fmt.Errorf("pass -profile or -netlist")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wcm3d/internal/service"
+)
+
+// TestRunTextOutput exercises the full CLI path on a small paper die and
+// holds the text report to its contract: a greedy baseline line, a refined
+// line, and one statistics line per racing solver.
+func TestRunTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "b11/0", "", "ours", "tight", 1, 2*time.Second, 0, "", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "greedy plan adds") {
+		t.Fatalf("missing greedy baseline line:\n%s", out)
+	}
+	if !strings.Contains(out, "refined:") {
+		t.Fatalf("missing refined line:\n%s", out)
+	}
+	for _, s := range []string{"local", "anneal", "bnb"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("missing %s statistics line:\n%s", s, out)
+		}
+	}
+}
+
+// TestRunJSONSchema asserts -json emits the service RefineReport schema and
+// that the refined plan is never worse than greedy.
+func TestRunJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "b11/0", "", "ours", "tight", 1, 2*time.Second, 0, "local", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep service.RefineReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a RefineReport: %v\n%s", err, buf.String())
+	}
+	if rep.GreedyCells <= 0 {
+		t.Fatalf("greedy cells = %d", rep.GreedyCells)
+	}
+	if rep.AdditionalCells > rep.GreedyCells {
+		t.Fatalf("refined plan is worse than greedy: %d > %d", rep.AdditionalCells, rep.GreedyCells)
+	}
+	if len(rep.Strategies) != 1 || rep.Strategies[0].Name != "local" {
+		t.Fatalf("strategy subset not honored: %+v", rep.Strategies)
+	}
+}
+
+// TestRunRejectsThresholdFreeMethods holds the CLI to its documented
+// refusal: li and fullwrap carry no sharing model to refine.
+func TestRunRejectsThresholdFreeMethods(t *testing.T) {
+	for _, m := range []string{"li", "fullwrap"} {
+		var buf bytes.Buffer
+		if err := run(&buf, "b11/0", "", m, "tight", 1, time.Second, 0, "", 0, false); err == nil {
+			t.Fatalf("method %s was accepted", m)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	tables -figure 7                 # the edge-growth figure (b20-b22)
 //	tables -table 4 -budget reduced  # faster, lower-effort ATPG
 //	tables -tam -widths 16,32,64     # stack test time vs total TAM wires
+//	tables -refine -refine-budget 5s # greedy vs solver portfolio, all 24 dies
 //	tables -table 2 -json            # machine-readable rows
 //
 // With -json the output is an array of experiment reports in the shared
@@ -39,16 +40,18 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table number to regenerate (1-5)")
-		figure   = flag.Int("figure", 0, "figure number to regenerate (7)")
-		tam      = flag.Bool("tam", false, "regenerate the TAM width sweep (stack test time vs total wires)")
-		all      = flag.Bool("all", false, "regenerate every table, figure, and the TAM sweep")
-		circuits = flag.String("circuits", "", "comma-separated circuit families (default: the paper's set for each experiment)")
-		widths   = flag.String("widths", "16,32,64", `comma-separated total TAM wire budgets for -tam`)
-		seed     = flag.Int64("seed", 1, "generation seed")
-		budget   = flag.String("budget", "full", "ATPG effort: full or reduced")
-		short    = flag.Bool("short", false, "shorthand for -budget reduced -circuits b11,b12")
-		asJSON   = flag.Bool("json", false, "emit machine-readable experiment reports (service schema)")
+		table        = flag.Int("table", 0, "table number to regenerate (1-5)")
+		figure       = flag.Int("figure", 0, "figure number to regenerate (7)")
+		tam          = flag.Bool("tam", false, "regenerate the TAM width sweep (stack test time vs total wires)")
+		all          = flag.Bool("all", false, "regenerate every table, figure, and the TAM sweep")
+		refineGap    = flag.Bool("refine", false, "regenerate the refinement gap table (greedy vs solver portfolio; not part of -all)")
+		refineBudget = flag.Duration("refine-budget", 2*time.Second, "per-die wall budget for -refine")
+		circuits     = flag.String("circuits", "", "comma-separated circuit families (default: the paper's set for each experiment)")
+		widths       = flag.String("widths", "16,32,64", `comma-separated total TAM wire budgets for -tam`)
+		seed         = flag.Int64("seed", 1, "generation seed")
+		budget       = flag.String("budget", "full", "ATPG effort: full or reduced")
+		short        = flag.Bool("short", false, "shorthand for -budget reduced -circuits b11,b12")
+		asJSON       = flag.Bool("json", false, "emit machine-readable experiment reports (service schema)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -59,7 +62,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
-	runErr := run(os.Stdout, *table, *figure, *tam, *all, *circuits, *widths, *seed, *budget, *short, *asJSON)
+	runErr := run(os.Stdout, *table, *figure, *tam, *all, *refineGap, *refineBudget, *circuits, *widths, *seed, *budget, *short, *asJSON)
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -106,7 +109,7 @@ func startProfiles(cpuprofile, memprofile string) (stop func() error, err error)
 	}, nil
 }
 
-func run(w io.Writer, table, figure int, tam, all bool, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
+func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget time.Duration, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
 	if short {
 		budgetName = "reduced"
 		if circuits == "" {
@@ -154,8 +157,8 @@ func run(w io.Writer, table, figure int, tam, all bool, circuits, widthList stri
 		}
 		return table == n
 	}
-	if !all && !tam && table == 0 && figure == 0 {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, or -tam")
+	if !all && !tam && !refineGap && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, -tam, or -refine")
 	}
 	ran := false
 
@@ -318,6 +321,27 @@ func run(w io.Writer, table, figure int, tam, all bool, circuits, widthList stri
 				return err
 			}
 			emit("tam_widths", rows, func(w io.Writer) { experiments.RenderTAMWidths(w, rows) })
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if refineGap {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("Refinement gap", func() error {
+			dies, err := experiments.PrepareSuite(profiles, seed)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.RefineGap(dies, refineBudget, seed)
+			if err != nil {
+				return err
+			}
+			emit("refine_gap", rows, func(w io.Writer) { experiments.RenderRefineGap(w, rows) })
 			return nil
 		}); err != nil {
 			return err

@@ -10,6 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
+	"wcm3d/internal/experiments"
 	"wcm3d/internal/service"
 )
 
@@ -17,20 +20,20 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRunTable2(t *testing.T) {
 	// Table II touches only the generator: fast and fully deterministic.
-	if err := run(io.Discard, 2, 0, false, false, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunShortFlagDefaults(t *testing.T) {
-	if err := run(io.Discard, 2, 0, false, false, "", "16,32,64", 1, "full", true, false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, "", "16,32,64", 1, "full", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTAMSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, true, false, "b11", "4,8", 1, "reduced", false, false); err != nil {
+	if err := run(&buf, 0, 0, true, false, false, 0, "b11", "4,8", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -42,11 +45,44 @@ func TestRunTAMSweep(t *testing.T) {
 	}
 }
 
+// TestRunRefineGap runs the refinement-gap experiment on the smallest
+// family with a short per-die budget and holds the output to its contract:
+// refined cells never exceed greedy cells.
+func TestRunRefineGap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 0, false, false, true, 500*time.Millisecond, "b11", "16", 1, "reduced", false, true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []service.ExperimentReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not the service schema: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Experiment != "refine_gap" {
+		t.Fatalf("unexpected envelope: %+v", reports)
+	}
+	raw, _ := json.Marshal(reports[0].Rows)
+	var rows []experiments.RefineGapRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.RefinedCells > r.GreedyCells {
+			t.Errorf("%s: refined %d > greedy %d", r.Die, r.RefinedCells, r.GreedyCells)
+		}
+		if r.Saved != r.GreedyCells-r.RefinedCells {
+			t.Errorf("%s: saved %d inconsistent", r.Die, r.Saved)
+		}
+	}
+}
+
 // TestRunJSONGolden pins the -json envelope schema. Table II is pure
 // netlist statistics, so the bytes are deterministic across runs.
 func TestRunJSONGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 0, false, false, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
+	if err := run(&buf, 2, 0, false, false, false, 0, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []service.ExperimentReport
@@ -76,19 +112,19 @@ func TestRunJSONGolden(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(io.Discard, 0, 0, false, false, "", "16", 1, "full", false, false); err == nil {
+	if err := run(io.Discard, 0, 0, false, false, false, 0, "", "16", 1, "full", false, false); err == nil {
 		t.Error("no experiment selected must error")
 	}
-	if err := run(io.Discard, 2, 0, false, false, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
 		t.Errorf("unknown circuit: %v", err)
 	}
-	if err := run(io.Discard, 2, 0, false, false, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
 		t.Errorf("unknown budget: %v", err)
 	}
-	if err := run(io.Discard, 9, 0, false, false, "", "16", 1, "full", false, false); err == nil {
+	if err := run(io.Discard, 9, 0, false, false, false, 0, "", "16", 1, "full", false, false); err == nil {
 		t.Error("unknown table number must error")
 	}
-	if err := run(io.Discard, 0, 0, true, false, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
+	if err := run(io.Discard, 0, 0, true, false, false, 0, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
 		t.Errorf("bad widths: %v", err)
 	}
 }

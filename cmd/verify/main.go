@@ -30,6 +30,7 @@ import (
 
 	"wcm3d"
 	"wcm3d/internal/service"
+	"wcm3d/internal/verify"
 )
 
 func main() {
@@ -41,10 +42,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation / placement seed")
 		signoff = flag.Bool("signoff", false, "also re-run functional-mode timing signoff")
 		deep    = flag.Bool("deep", false, "also measure overlapped-cone sharing with ATPG (advisory)")
+		oracle  = flag.Bool("oracle", false, "on tiny dies, also print the heuristic-vs-optimal cell delta (exhaustive oracle)")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable report (service schema)")
 	)
 	flag.Parse()
-	ok, err := run(os.Stdout, *profile, *netPath, *method, *timing, *seed, *signoff, *deep, *asJSON)
+	ok, err := run(os.Stdout, *profile, *netPath, *method, *timing, *seed, *signoff, *deep, *oracle, *asJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
@@ -54,7 +56,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, profile, netPath, methodName, timingName string, seed int64, signoff, deep, asJSON bool) (bool, error) {
+func run(w io.Writer, profile, netPath, methodName, timingName string, seed int64, signoff, deep, oracle, asJSON bool) (bool, error) {
 	die, name, err := loadDie(profile, netPath, seed)
 	if err != nil {
 		return false, err
@@ -95,7 +97,55 @@ func run(w io.Writer, profile, netPath, methodName, timingName string, seed int6
 	if signoff {
 		fmt.Fprintf(w, "functional-mode signoff WNS: %.1f ps\n", vres.SignoffWNSPS)
 	}
+	if oracle {
+		reportOracleDelta(w, die, res)
+	}
 	return vres.OK(), nil
+}
+
+// reportOracleDelta compares the plan against the exhaustive oracle in
+// replay mode (the oracle's second phase sees the flip-flop availability
+// the heuristic left behind, making the comparison a per-phase optimality
+// statement). The delta is informational: a gap reports how many cells
+// greedy merging left on the table, it never changes the exit status. Dies
+// past the oracle's exhaustive bound just report that they are out of
+// range.
+func reportOracleDelta(w io.Writer, die *wcm3d.Die, res *wcm3d.MinimizeResult) {
+	if res.Options.Order == 0 {
+		fmt.Fprintln(w, "oracle: not applicable — this method carries no threshold contract")
+		return
+	}
+	in := die.Input()
+	in.RefreshTiming = nil // the oracle prices both phases against the base analysis
+	var replayed []wcm3d.SignalID
+	if len(res.Phases) > 0 && res.Phases[0].Inbound {
+		for _, g := range res.Assignment.Control {
+			if g.Reused() {
+				replayed = append(replayed, g.ReusedFF)
+			}
+		}
+	} else if len(res.Phases) > 0 {
+		for _, g := range res.Assignment.Observe {
+			if g.Reused() {
+				replayed = append(replayed, g.ReusedFF)
+			}
+		}
+	}
+	orc, err := verify.Oracle(in, res.Options, verify.OracleOptions{ReplayConsumption: replayed})
+	if err != nil {
+		fmt.Fprintf(w, "oracle: out of range for this die (%v)\n", err)
+		return
+	}
+	delta := res.AdditionalCells - orc.AdditionalCells
+	switch {
+	case delta > 0:
+		fmt.Fprintf(w, "oracle: optimal needs %d cells, heuristic inserted %d — %d on the table (try the refine portfolio)\n",
+			orc.AdditionalCells, res.AdditionalCells, delta)
+	case delta == 0:
+		fmt.Fprintf(w, "oracle: heuristic is optimal on this die (%d cells)\n", res.AdditionalCells)
+	default:
+		fmt.Fprintf(w, "oracle: heuristic beat the oracle by %d cells — this is a bug, please report it\n", -delta)
+	}
 }
 
 func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, string, error) {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wcm3d/internal/netgen"
+)
+
+// writeTinyDie generates a die small enough for the exhaustive oracle and
+// writes it as a .bench file the CLI can load with -netlist.
+func writeTinyDie(t *testing.T, seed int64) string {
+	t.Helper()
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: 120, FFs: 12, PIs: 4, POs: 2,
+		InboundTSVs: 4, OutboundTSVs: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := n.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunOracleDelta certifies a tiny die and asks for the oracle delta:
+// the report must state either optimality or a concrete cell gap, and a
+// gap never flips the exit status.
+func TestRunOracleDelta(t *testing.T) {
+	path := writeTinyDie(t, 7)
+	var buf bytes.Buffer
+	ok, err := run(&buf, "", path, "ours", "tight", 7, false, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("tiny die failed verification:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "oracle:") {
+		t.Fatalf("missing oracle line:\n%s", out)
+	}
+	if strings.Contains(out, "this is a bug") {
+		t.Fatalf("heuristic beat the oracle:\n%s", out)
+	}
+	if !strings.Contains(out, "optimal") && !strings.Contains(out, "on the table") &&
+		!strings.Contains(out, "out of range") {
+		t.Fatalf("oracle line carries no verdict:\n%s", out)
+	}
+}
+
+// TestRunOracleOutOfRange holds the -oracle path on a paper-size die to
+// its contract: the die exceeds the exhaustive bound, the report says so,
+// and the verification outcome is untouched.
+func TestRunOracleOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run(&buf, "b11/0", "", "ours", "tight", 1, false, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("plan failed verification:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "oracle:") {
+		t.Fatalf("missing oracle line:\n%s", out)
+	}
+}
+
+// TestRunOracleSkipsThresholdFreeMethods: li carries no threshold
+// contract, so the oracle line must say "not applicable".
+func TestRunOracleSkipsThresholdFreeMethods(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, "b11/0", "", "li", "tight", 1, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not applicable") {
+		t.Fatalf("missing not-applicable verdict:\n%s", buf.String())
+	}
+}

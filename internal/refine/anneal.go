@@ -1,0 +1,100 @@
+package refine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+)
+
+// annealer is the stochastic strategy: Metropolis acceptance over the same
+// move set as local search (merge, relocate, split one member out), with a
+// geometric cooling schedule. The walk is driven by a seeded math/rand
+// source, so a fixed (seed, step budget) replays the exact same trajectory
+// — the wall-clock deadline can only truncate it.
+type annealer struct{}
+
+func (annealer) Name() string { return "anneal" }
+
+// Cooling endpoints: moves cost at most a few cells, so temperatures are
+// calibrated to unit deltas — ~37% uphill acceptance at the start,
+// effectively greedy at the end.
+const (
+	annealTStart = 1.0
+	annealTEnd   = 0.02
+)
+
+func (annealer) Refine(ctx context.Context, p *Problem, start *Solution, cfg Config, emit func(*Solution) bool) (int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := start.clone()
+	augmentAll(p, s)
+	cur := s.cells(p)
+	best := start.cells(p)
+	if cur < best {
+		best = cur
+		emit(s)
+	}
+	alpha := math.Exp(math.Log(annealTEnd/annealTStart) / float64(max(cfg.MaxSteps, 1)))
+	temp := annealTStart
+	steps := 0
+	for ; steps < cfg.MaxSteps; steps++ {
+		if steps%128 == 0 && ctx.Err() != nil {
+			break
+		}
+		temp *= alpha
+		pi := rng.Intn(2)
+		ph := p.phases[pi]
+		nb := len(s.blocks[pi])
+		if nb == 0 {
+			continue
+		}
+		trial := s.clone()
+		switch rng.Intn(3) {
+		case 0: // merge two random blocks
+			if nb < 2 {
+				continue
+			}
+			bi := rng.Intn(nb)
+			bj := rng.Intn(nb - 1)
+			if bj >= bi {
+				bj++
+			}
+			if !ph.canMerge(&trial.blocks[pi][bi], &trial.blocks[pi][bj]) {
+				continue
+			}
+			trial.mergeBlocks(p, pi, bi, bj)
+		case 1: // relocate a random item
+			if nb < 2 {
+				continue
+			}
+			bi := rng.Intn(nb)
+			mi := rng.Intn(len(trial.blocks[pi][bi].members))
+			to := rng.Intn(nb - 1)
+			if to >= bi {
+				to++
+			}
+			if !ph.canJoin(&trial.blocks[pi][to], trial.blocks[pi][bi].members[mi]) {
+				continue
+			}
+			trial.relocate(p, pi, bi, mi, to)
+		default: // split a random member out into a singleton
+			bi := rng.Intn(nb)
+			if len(trial.blocks[pi][bi].members) < 2 {
+				continue
+			}
+			mi := rng.Intn(len(trial.blocks[pi][bi].members))
+			item := trial.takeItem(p, pi, bi, mi)
+			trial.addSingleton(p, pi, item)
+		}
+		augmentAll(p, trial)
+		c := trial.cells(p)
+		d := float64(c - cur)
+		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			s, cur = trial, c
+			if cur < best {
+				best = cur
+				emit(s)
+			}
+		}
+	}
+	return steps, ctx.Err()
+}

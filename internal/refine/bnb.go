@@ -1,0 +1,147 @@
+package refine
+
+import "context"
+
+// branchBound is the exact strategy for small phases: coordinate descent
+// where one phase's partition is rebuilt by exhaustive restricted-growth
+// enumeration (the oracle's scheme) while the other phase stays fixed, each
+// leaf scored with the global augmenting-path matching, the incumbent
+// pruning subtrees that cannot beat it. Phases larger than maxItems are
+// skipped — on big dies the strategy returns immediately and leaves the
+// field to local search and annealing.
+type branchBound struct {
+	// maxItems bounds the per-phase exhaustive enumeration; 0 means
+	// bnbDefaultMaxItems.
+	maxItems int
+}
+
+// bnbDefaultMaxItems matches the oracle's default exhaustive bound.
+const bnbDefaultMaxItems = 10
+
+func (branchBound) Name() string { return "bnb" }
+
+func (b branchBound) Refine(ctx context.Context, p *Problem, start *Solution, cfg Config, emit func(*Solution) bool) (int, error) {
+	maxItems := b.maxItems
+	if maxItems <= 0 {
+		maxItems = bnbDefaultMaxItems
+	}
+	tractable := false
+	for _, ph := range p.phases {
+		if ph.n > 0 && ph.n <= maxItems {
+			tractable = true
+		}
+	}
+	if !tractable {
+		return 0, nil
+	}
+	s := start.clone()
+	augmentAll(p, s)
+	best := s.cells(p)
+	if best < start.cells(p) {
+		emit(s)
+	}
+	steps := 0
+	improved := true
+	for improved && steps < cfg.MaxSteps && ctx.Err() == nil {
+		improved = false
+		for pi, ph := range p.phases {
+			if ph.n == 0 || ph.n > maxItems {
+				continue
+			}
+			better := b.solvePhase(ctx, p, s, pi, best, cfg.MaxSteps, &steps)
+			if better != nil {
+				s = better
+				best = s.cells(p)
+				emit(s)
+				improved = true
+			}
+		}
+	}
+	return steps, ctx.Err()
+}
+
+// solvePhase exhaustively re-partitions phase pi with the other phase held
+// fixed. It returns a strictly better full solution, or nil.
+func (branchBound) solvePhase(ctx context.Context, p *Problem, s *Solution, pi, incumbent, maxSteps int, steps *int) *Solution {
+	ph := p.phases[pi]
+	other := 1 - pi
+	// Fixed context: the other phase's block count never changes inside
+	// this sweep, and the matching upper bound is the global pool.
+	otherBlocks := len(s.blocks[other])
+	nFFs := len(p.ffSigs)
+
+	var bestSol *Solution
+	bestCells := incumbent
+
+	// Restricted-growth enumeration: item k joins an existing block or
+	// opens a new one. Feasibility (pairwise adjacency + load) prunes at
+	// assignment; the cost bound prunes subtrees the matching can no
+	// longer rescue.
+	blocks := make([]block, 0, ph.n)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if *steps >= maxSteps {
+			return
+		}
+		*steps++
+		if *steps%1024 == 0 && ctx.Err() != nil {
+			return
+		}
+		// Bound: blocks only accumulate down this path, and at most
+		// min(total blocks, #FFs) of the final plan can be covered.
+		lbBlocks := len(blocks) + otherBlocks
+		lbMatch := lbBlocks
+		if nFFs < lbMatch {
+			lbMatch = nFFs
+		}
+		if p.fixedCells+lbBlocks-lbMatch >= bestCells {
+			// Even a perfect matching over every block cannot beat
+			// the incumbent from here (remaining items only add
+			// blocks or keep the count).
+			return
+		}
+		if k == ph.n {
+			trial := &Solution{ffUsed: newBitset(len(p.ffSigs))}
+			trial.blocks[other] = make([]block, len(s.blocks[other]))
+			for bi, ob := range s.blocks[other] {
+				trial.blocks[other][bi] = block{
+					members: append([]int32(nil), ob.members...),
+					mask:    ob.mask.clone(),
+					ff:      -1,
+				}
+			}
+			trial.blocks[pi] = make([]block, len(blocks))
+			for bi, nb := range blocks {
+				trial.blocks[pi][bi] = block{
+					members: append([]int32(nil), nb.members...),
+					mask:    nb.mask.clone(),
+					ff:      -1,
+				}
+			}
+			augmentAll(p, trial)
+			if c := trial.cells(p); c < bestCells {
+				bestCells = c
+				bestSol = trial
+			}
+			return
+		}
+		item := int32(k)
+		for bi := range blocks {
+			if !ph.canJoin(&blocks[bi], item) {
+				continue
+			}
+			blocks[bi].members = append(blocks[bi].members, item)
+			blocks[bi].mask.set(item)
+			recurse(k + 1)
+			blocks[bi].mask.clear(item)
+			blocks[bi].members = blocks[bi].members[:len(blocks[bi].members)-1]
+		}
+		nb := block{members: []int32{item}, mask: newBitset(ph.n), ff: -1}
+		nb.mask.set(item)
+		blocks = append(blocks, nb)
+		recurse(k + 1)
+		blocks = blocks[:len(blocks)-1]
+	}
+	recurse(0)
+	return bestSol
+}

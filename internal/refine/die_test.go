@@ -1,0 +1,73 @@
+package refine
+
+import (
+	"testing"
+
+	"wcm3d/internal/cells"
+	"wcm3d/internal/netgen"
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/place"
+	"wcm3d/internal/sta"
+	"wcm3d/internal/wcm"
+)
+
+// tinyDie reproduces the oracle test's seeded instance family byte for byte
+// (internal/verify/oracle_test.go): the gap corpus stores seeds, and this
+// recipe is the contract that turns a seed back into the same die. Do not
+// change it without regenerating testdata/gaps.
+func tinyDie(t testing.TB, seed int64) wcm.Input {
+	t.Helper()
+	rng := seed
+	in := 2 + int(rng%5)       // 2..6
+	out := 2 + int((rng/7)%5)  // 2..6
+	gates := 120 + int(rng%97) // vary the logic around the TSVs
+	ffs := 0
+	switch seed % 3 {
+	case 0: // scarce: reuse is the bottleneck, merging is forced
+		ffs = (in + out) / 2
+	case 1: // matched
+		ffs = in + out
+	case 2: // abundant: merging competes with flip-flop attachment
+		ffs = 3 * (in + out)
+	}
+	n, err := netgen.Random(netgen.RandomOptions{
+		Gates: gates, FFs: ffs, PIs: 4, POs: 2,
+		InboundTSVs: in, OutboundTSVs: out, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default45nm()
+	pl, err := place.Place(n, place.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sta.Analyze(n, lib, sta.Config{ClockPS: 1e5, Placement: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wcm.Input{Netlist: n, Lib: lib, Placement: pl, Timing: base}
+}
+
+// firstPhaseReuse extracts the flip-flops the heuristic consumed in its
+// first phase, for the oracle's replay mode.
+func firstPhaseReuse(res *wcm.Result) []netlist.SignalID {
+	var out []netlist.SignalID
+	if len(res.Phases) == 0 {
+		return out
+	}
+	if res.Phases[0].Inbound {
+		for _, g := range res.Assignment.Control {
+			if g.Reused() {
+				out = append(out, g.ReusedFF)
+			}
+		}
+	} else {
+		for _, g := range res.Assignment.Observe {
+			if g.Reused() {
+				out = append(out, g.ReusedFF)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package refine
+
+import "context"
+
+// localSearch is the deterministic strategy: first-improvement descent over
+// three sweeps — pairwise block merges, single-item relocations, and
+// split-and-remerge kicks — each trial rescored with a full augmenting-path
+// rematch, until a whole round finds nothing (a local optimum) or the step
+// budget runs out. No randomness: for a fixed problem the trajectory is a
+// pure function of the sweep order.
+type localSearch struct{}
+
+func (localSearch) Name() string { return "local" }
+
+func (localSearch) Refine(ctx context.Context, p *Problem, start *Solution, cfg Config, emit func(*Solution) bool) (int, error) {
+	s := start.clone()
+	augmentAll(p, s)
+	best := s.cells(p)
+	if best < start.cells(p) {
+		// The greedy plan's flip-flop assignment was not a maximum
+		// matching: augmenting paths alone already saved cells.
+		emit(s)
+	}
+	steps := 0
+	done := func() bool {
+		if steps >= cfg.MaxSteps {
+			return true
+		}
+		if steps%64 == 0 && ctx.Err() != nil {
+			return true
+		}
+		return false
+	}
+	// try applies mutate to a scratch copy, keeps it when it lowers the
+	// cell count, and reports whether it did.
+	try := func(mutate func(*Solution)) bool {
+		steps++
+		trial := s.clone()
+		mutate(trial)
+		augmentAll(p, trial)
+		if c := trial.cells(p); c < best {
+			s, best = trial, c
+			emit(s)
+			return true
+		}
+		return false
+	}
+	improved := true
+	for improved && !done() {
+		improved = false
+		// Merge sweep: fuse any two compatible blocks.
+		for pi := range s.blocks {
+			ph := p.phases[pi]
+			for bi := 0; bi < len(s.blocks[pi]) && !done(); bi++ {
+				for bj := bi + 1; bj < len(s.blocks[pi]) && !done(); bj++ {
+					if !ph.canMerge(&s.blocks[pi][bi], &s.blocks[pi][bj]) {
+						continue
+					}
+					if try(func(t *Solution) { t.mergeBlocks(p, pi, bi, bj) }) {
+						improved = true
+						bj = bi // indices shifted: rescan bi's row
+					}
+				}
+			}
+		}
+		// Relocate sweep: move one item into another block.
+		for pi := range s.blocks {
+			ph := p.phases[pi]
+			for bi := 0; bi < len(s.blocks[pi]) && !done(); bi++ {
+			rescan:
+				for mi := 0; mi < len(s.blocks[pi][bi].members); mi++ {
+					item := s.blocks[pi][bi].members[mi]
+					for to := 0; to < len(s.blocks[pi]) && !done(); to++ {
+						if to == bi || !ph.canJoin(&s.blocks[pi][to], item) {
+							continue
+						}
+						if try(func(t *Solution) { t.relocate(p, pi, bi, mi, to) }) {
+							improved = true
+							if bi >= len(s.blocks[pi]) {
+								break rescan // block dissolved
+							}
+							mi--
+							continue rescan
+						}
+					}
+				}
+			}
+		}
+		// Split-and-remerge sweep: dissolve one block and first-fit its
+		// members into the remaining blocks — the escape hatch for the
+		// greedy partitioner's known failure mode, cliques merged so
+		// large no disjoint-cone flip-flop can attach.
+		for pi := range s.blocks {
+			for bi := 0; bi < len(s.blocks[pi]) && !done(); bi++ {
+				if len(s.blocks[pi][bi].members) < 2 {
+					continue
+				}
+				if try(func(t *Solution) { t.splitRemerge(p, pi, bi) }) {
+					improved = true
+					bi--
+				}
+			}
+		}
+	}
+	return steps, ctx.Err()
+}
+
+// splitRemerge dissolves block bi into free items and re-inserts each into
+// the first compatible existing block, opening singletons for the rest.
+func (s *Solution) splitRemerge(p *Problem, pi, bi int) {
+	ph := p.phases[pi]
+	freed := append([]int32(nil), s.blocks[pi][bi].members...)
+	s.releaseFF(p, pi, bi)
+	s.blocks[pi][bi].members = s.blocks[pi][bi].members[:0]
+	for w := range s.blocks[pi][bi].mask {
+		s.blocks[pi][bi].mask[w] = 0
+	}
+	s.removeEmpty(pi, bi)
+	for _, item := range freed {
+		placed := -1
+		for to := range s.blocks[pi] {
+			if ph.canJoin(&s.blocks[pi][to], item) {
+				placed = to
+				break
+			}
+		}
+		if placed >= 0 {
+			s.joinBlock(p, pi, placed, item)
+		} else {
+			s.addSingleton(p, pi, item)
+		}
+	}
+}
+
+// removeEmpty drops the (already emptied) block at bi.
+func (s *Solution) removeEmpty(pi, bi int) {
+	last := len(s.blocks[pi]) - 1
+	s.blocks[pi][bi] = s.blocks[pi][last]
+	s.blocks[pi][last] = block{}
+	s.blocks[pi] = s.blocks[pi][:last]
+}

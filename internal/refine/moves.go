@@ -1,0 +1,105 @@
+package refine
+
+// Structural move primitives shared by local search and annealing. Moves
+// keep the solution valid (partition of admitted items into feasible
+// blocks, flip-flop bookkeeping consistent) but do not restore matching
+// maximality — callers run augmentAll afterwards and compare cells.
+
+// releaseFF returns block (pi, bi)'s flip-flop to the pool.
+func (s *Solution) releaseFF(p *Problem, pi, bi int) {
+	b := &s.blocks[pi][bi]
+	if b.ff < 0 {
+		return
+	}
+	s.ffUsed.clear(p.phases[pi].ffs[b.ff].global)
+	b.ff = -1
+}
+
+// removeBlock deletes block bi of phase pi (swap-delete; the last block
+// takes its index).
+func (s *Solution) removeBlock(p *Problem, pi, bi int) {
+	s.releaseFF(p, pi, bi)
+	last := len(s.blocks[pi]) - 1
+	s.blocks[pi][bi] = s.blocks[pi][last]
+	s.blocks[pi][last] = block{}
+	s.blocks[pi] = s.blocks[pi][:last]
+}
+
+// addSingleton opens a new block holding one item and returns its index.
+func (s *Solution) addSingleton(p *Problem, pi int, item int32) int {
+	ph := p.phases[pi]
+	b := block{members: []int32{item}, mask: newBitset(ph.n), ff: -1}
+	b.mask.set(item)
+	s.blocks[pi] = append(s.blocks[pi], b)
+	return len(s.blocks[pi]) - 1
+}
+
+// joinBlock adds an item to an existing block; the caller must have
+// checked canJoin. If the block's flip-flop no longer covers the grown
+// mask, it is released.
+func (s *Solution) joinBlock(p *Problem, pi, bi int, item int32) {
+	ph := p.phases[pi]
+	b := &s.blocks[pi][bi]
+	b.members = append(b.members, item)
+	b.mask.set(item)
+	if b.ff >= 0 && !ph.ffCovers(b.ff, b) {
+		s.releaseFF(p, pi, bi)
+	}
+}
+
+// takeItem removes the member at position mi from block bi. If the block
+// empties it is deleted (and the index of the block that replaced it is
+// irrelevant to the caller, which holds the extracted item). Returns the
+// item.
+func (s *Solution) takeItem(p *Problem, pi, bi, mi int) int32 {
+	b := &s.blocks[pi][bi]
+	item := b.members[mi]
+	b.members[mi] = b.members[len(b.members)-1]
+	b.members = b.members[:len(b.members)-1]
+	b.mask.clear(item)
+	if len(b.members) == 0 {
+		s.removeBlock(p, pi, bi)
+	}
+	return item
+}
+
+// mergeBlocks fuses block bj into bi (caller checked canMerge). Whichever
+// flip-flop still covers the union is kept; the other is released.
+func (s *Solution) mergeBlocks(p *Problem, pi, bi, bj int) {
+	ph := p.phases[pi]
+	a := &s.blocks[pi][bi]
+	b := &s.blocks[pi][bj]
+	a.members = append(a.members, b.members...)
+	for w := range a.mask {
+		a.mask[w] |= b.mask[w]
+	}
+	if a.ff >= 0 && !ph.ffCovers(a.ff, a) {
+		s.releaseFF(p, pi, bi)
+	}
+	if b.ff >= 0 {
+		if a.ff < 0 && ph.ffCovers(b.ff, a) {
+			a.ff = b.ff
+			b.ff = -1 // ownership moved; ffUsed stays set
+		} else {
+			s.releaseFF(p, pi, bj)
+		}
+	}
+	b.ff = -1
+	s.removeBlock(p, pi, bj)
+}
+
+// relocate moves the member at position mi of block from into block to
+// (caller checked canJoin on to). Block indices may shift when from
+// empties; callers should not hold indices across the call.
+func (s *Solution) relocate(p *Problem, pi, from, mi, to int) {
+	item := s.blocks[pi][from].members[mi]
+	// Deleting from may swap the last block into its slot; capture the
+	// target block's identity first when it is the one being swapped.
+	last := len(s.blocks[pi]) - 1
+	willEmpty := len(s.blocks[pi][from].members) == 1
+	s.takeItem(p, pi, from, mi)
+	if willEmpty && to == last {
+		to = from // the target was swapped into the vacated slot
+	}
+	s.joinBlock(p, pi, to, item)
+}

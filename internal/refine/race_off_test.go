@@ -1,0 +1,5 @@
+//go:build !race
+
+package refine
+
+const raceEnabled = false

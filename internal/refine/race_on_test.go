@@ -1,0 +1,7 @@
+//go:build race
+
+package refine
+
+// raceEnabled lets the corpus and determinism suites shrink their die sets
+// under the race detector, whose 5-20x slowdown would otherwise dominate CI.
+const raceEnabled = true

@@ -139,6 +139,60 @@ type Report struct {
 	StuckAt         *TestabilityReport `json:"stuck_at,omitempty"`
 	TestCycles      int                `json:"test_cycles,omitempty"`
 	Verify          *VerifyReport      `json:"verify,omitempty"`
+	Refine          *RefineReport      `json:"refine,omitempty"`
+}
+
+// RefineReport is the JSON form of a solver-portfolio refinement run
+// (refine=true jobs, cmd/refine -json).
+type RefineReport struct {
+	// Improved reports whether a verified plan beat the greedy one;
+	// GreedyCells → AdditionalCells is the before/after, CellsSaved the
+	// difference, Strategy the winning solver.
+	Improved        bool   `json:"improved"`
+	GreedyCells     int    `json:"greedy_cells"`
+	AdditionalCells int    `json:"additional_cells"`
+	CellsSaved      int    `json:"cells_saved"`
+	ReusedFFs       int    `json:"reused_ffs"`
+	Strategy        string `json:"strategy,omitempty"`
+	// Strategies reports every solver that raced: steps searched,
+	// candidates proposed/admitted/rejected, and whether the deadline
+	// cut the run short.
+	Strategies []RefineStrategyReport `json:"strategies,omitempty"`
+}
+
+// RefineStrategyReport is one solver's outcome inside a refinement run.
+type RefineStrategyReport struct {
+	Name     string `json:"name"`
+	Steps    int    `json:"steps"`
+	Proposed int    `json:"proposed"`
+	Admitted int    `json:"admitted"`
+	Rejected int    `json:"rejected"`
+	Deadline bool   `json:"deadline,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// EncodeRefine converts a refinement result to its JSON form.
+func EncodeRefine(rr *wcm3d.RefineResult) *RefineReport {
+	r := &RefineReport{
+		Improved:        rr.Improved,
+		GreedyCells:     rr.GreedyCells,
+		AdditionalCells: rr.AdditionalCells,
+		CellsSaved:      rr.CellsSaved,
+		ReusedFFs:       rr.ReusedFFs,
+		Strategy:        rr.Strategy,
+	}
+	for _, so := range rr.Strategies {
+		r.Strategies = append(r.Strategies, RefineStrategyReport{
+			Name:     so.Name,
+			Steps:    so.Steps,
+			Proposed: so.Proposed,
+			Admitted: so.Admitted,
+			Rejected: so.Rejected,
+			Deadline: so.Deadline,
+			Err:      so.Err,
+		})
+	}
+	return r
 }
 
 // EncodeResult builds the Report for a minimization outcome on a die. The

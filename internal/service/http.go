@@ -77,6 +77,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		req.Verify = true
 	}
+	switch r.URL.Query().Get("refine") {
+	case "1", "true":
+		req.Refine = true
+	}
 	st, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):

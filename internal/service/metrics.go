@@ -35,6 +35,14 @@ type Metrics struct {
 	// operator's attention, even though the job itself still succeeds.
 	VerifyFailures atomic.Int64
 
+	// RefineImproved counts refine=true jobs where the solver portfolio
+	// found a verified plan strictly better than the greedy heuristic's;
+	// RefineCellsSaved accumulates the wrapper cells those improvements
+	// removed. Together they answer "is the refinement budget paying for
+	// itself" straight from /metrics.
+	RefineImproved   atomic.Int64
+	RefineCellsSaved atomic.Int64
+
 	// Die-cache counters. A hit is any request served by an existing entry
 	// (including one still being prepared — the single-flight path); a
 	// miss is a request that triggered a preparation. An abort is an
@@ -66,6 +74,7 @@ type Stage int
 const (
 	StagePrepare  Stage = iota // die generation + placement + timing
 	StageMinimize              // the WCM solver
+	StageRefine                // solver-portfolio refinement (refine=true)
 	StageSignoff               // functional-mode timing check
 	StageATPG                  // stuck-at evaluation + chain build
 	StageVerify                // independent plan verification (verify=true)
@@ -80,6 +89,8 @@ func (s Stage) String() string {
 		return "prepare"
 	case StageMinimize:
 		return "minimize"
+	case StageRefine:
+		return "refine"
 	case StageSignoff:
 		return "signoff"
 	case StageATPG:
@@ -215,6 +226,10 @@ type MetricsSnapshot struct {
 	Verify struct {
 		Failures int64 `json:"failures"`
 	} `json:"verify"`
+	Refine struct {
+		Improved   int64 `json:"improved"`
+		CellsSaved int64 `json:"cells_saved"`
+	} `json:"refine"`
 	LatencyMS map[string]HistogramSnapshot `json:"latency_ms"`
 }
 
@@ -231,6 +246,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Schedules.Failed = m.SchedulesFailed.Load()
 	s.Schedules.Rejected = m.SchedulesRejected.Load()
 	s.Verify.Failures = m.VerifyFailures.Load()
+	s.Refine.Improved = m.RefineImproved.Load()
+	s.Refine.CellsSaved = m.RefineCellsSaved.Load()
 	s.Cache.Hits = m.CacheHits.Load()
 	s.Cache.Misses = m.CacheMisses.Load()
 	s.Cache.Evictions = m.CacheEvictions.Load()

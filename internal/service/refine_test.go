@@ -1,0 +1,94 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestJobRefineFlag runs a real job with solver-portfolio refinement
+// requested via the refine=true query parameter, together with independent
+// verification, and expects a RefineReport on the result whose refined
+// plan is never worse than greedy — and, when an improvement landed, the
+// refine counters to agree with it.
+func TestJobRefineFlag(t *testing.T) {
+	svc, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	resp, err := http.Post(ts.URL+"/v1/jobs?refine=true&verify=true", "application/json",
+		strings.NewReader(`{"profile": "b11/0", "timeout_ms": 30000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var jobs struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts, "/v1/jobs", &jobs); code != http.StatusOK || len(jobs.Jobs) == 0 {
+		t.Fatalf("list jobs: status %d, %d jobs", code, len(jobs.Jobs))
+	}
+	if !jobs.Jobs[0].Request.Refine {
+		t.Fatal("refine=true query parameter did not set the request flag")
+	}
+	st := waitJob(t, ts, jobs.Jobs[0].ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Refine == nil {
+		t.Fatal("result carries no refine report")
+	}
+	rr := st.Result.Refine
+	if rr.AdditionalCells > rr.GreedyCells {
+		t.Fatalf("refined plan is worse than greedy: %d > %d cells", rr.AdditionalCells, rr.GreedyCells)
+	}
+	if rr.Improved != (rr.CellsSaved > 0) {
+		t.Fatalf("improved=%v but cells_saved=%d", rr.Improved, rr.CellsSaved)
+	}
+	// The report must describe the plan that actually shipped: after an
+	// improvement the job-level cell count is the refined one.
+	if st.Result.AdditionalCells != rr.AdditionalCells {
+		t.Fatalf("report cells %d != refine cells %d", st.Result.AdditionalCells, rr.AdditionalCells)
+	}
+	// The shipped plan — refined or not — passed independent verification.
+	if st.Result.Verify == nil || !st.Result.Verify.OK {
+		t.Fatalf("shipped plan failed verification: %+v", st.Result.Verify)
+	}
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts, "/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap.LatencyMS[StageRefine.String()].Count == 0 {
+		t.Fatal("refine stage latency was not observed")
+	}
+	wantImproved := int64(0)
+	if rr.Improved {
+		wantImproved = 1
+	}
+	if snap.Refine.Improved != wantImproved || snap.Refine.CellsSaved != int64(rr.CellsSaved) {
+		t.Fatalf("refine counters = %+v, want improved=%d cells_saved=%d",
+			snap.Refine, wantImproved, rr.CellsSaved)
+	}
+	_ = svc
+}
+
+// TestJobRefineSkipsThresholdFreeMethods asserts that refine=true on a
+// method without a threshold contract (li) is a clean no-op: the job
+// succeeds and the result simply carries no refine report.
+func TestJobRefineSkipsThresholdFreeMethods(t *testing.T) {
+	_, ts := newTestServer(t, hookConfig(t, 1, 4, nil))
+	code, st, raw := postJob(t, ts, `{"profile": "b11/0", "method": "li", "refine": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", code, raw)
+	}
+	done := waitJob(t, ts, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	if done.Result == nil {
+		t.Fatal("job carries no result")
+	}
+	if done.Result.Refine != nil {
+		t.Fatal("threshold-free method produced a refine report")
+	}
+}

@@ -96,6 +96,13 @@ type JobRequest struct {
 	// internal/verify); the report lands in Result.Verify. Also settable
 	// as the verify=true query parameter on POST /v1/jobs.
 	Verify bool `json:"verify,omitempty"`
+	// Refine asks the anytime solver portfolio (see internal/refine) to
+	// improve the greedy plan before signoff; its deadline is fed by the
+	// job's clamped timeout_ms, the report lands in Result.Refine, and
+	// the job's seed drives the annealer's RNG. Also settable as the
+	// refine=true query parameter on POST /v1/jobs. Only meaningful for
+	// methods with a threshold contract (ours, agrawal).
+	Refine bool `json:"refine,omitempty"`
 	// TimeoutMS bounds the job's execution once it starts running, in
 	// milliseconds. It is clamped to the server's MaxTimeout cap; 0 means
 	// the cap applies directly. A job over its deadline is canceled.
@@ -590,7 +597,38 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("minimize: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var refineRep *RefineReport
+	if j.req.Refine && res.Options.Order != 0 {
+		// Half the job's remaining deadline goes to the portfolio (the
+		// signoff/verify/ATPG stages still need their share); a longer
+		// timeout_ms therefore buys a deeper search. Methods without a
+		// threshold contract (li, fullwrap) have no sharing model to
+		// refine and skip the stage.
+		start = time.Now()
+		ro := wcm3d.RefineOptions{Seed: j.spec.Seed}
+		if dl, ok := ctx.Deadline(); ok {
+			ro.Budget = time.Until(dl) / 2
+		}
+		rr, err := wcm3d.Refine(ctx, die, res.Options, res, ro)
+		s.metrics.ObserveOutcome(StageRefine, time.Since(start), err)
+		if err != nil {
+			return nil, fmt.Errorf("refine: %w", err)
+		}
+		if rr.Improved {
+			res.Assignment = rr.Assignment
+			res.AdditionalCells = rr.AdditionalCells
+			res.ReusedFFs = rr.ReusedFFs
+			s.metrics.RefineImproved.Add(1)
+			s.metrics.RefineCellsSaved.Add(int64(rr.CellsSaved))
+		}
+		refineRep = EncodeRefine(rr)
+	}
 	rep := EncodeResult(DescribeDie(j.spec.Name, j.spec.Seed, die), j.method, j.mode, res, die.Lib)
+	rep.Refine = refineRep
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

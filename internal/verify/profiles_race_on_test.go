@@ -1,0 +1,7 @@
+//go:build race
+
+package verify_test
+
+// raceEnabled lets the profile certification suite shrink its die set
+// under the race detector's overhead.
+const raceEnabled = true

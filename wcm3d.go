@@ -29,6 +29,7 @@
 package wcm3d
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -44,6 +45,7 @@ import (
 	"wcm3d/internal/netlist"
 	"wcm3d/internal/partition"
 	"wcm3d/internal/place"
+	"wcm3d/internal/refine"
 	"wcm3d/internal/scan"
 	"wcm3d/internal/sta"
 	"wcm3d/internal/tam"
@@ -250,9 +252,48 @@ func Minimize(d *Die, m Method, mode TimingMode) (*MinimizeResult, error) {
 }
 
 // MinimizeWith runs the WCM engine with explicit options (see
-// wcm.Options); Minimize covers the paper's standard configurations.
+// wcm.Options); Minimize covers the paper's standard configurations. When
+// opts.Refine is set, the greedy plan is additionally handed to the solver
+// portfolio (see Refine) under opts.RefineBudget, and the best verified
+// plan replaces the result's assignment and counters.
 func MinimizeWith(d *Die, opts MinimizeOptions) (*MinimizeResult, error) {
-	return wcm.Run(d.Input(), opts)
+	res, err := wcm.Run(d.Input(), opts)
+	if err != nil || !opts.Refine {
+		return res, err
+	}
+	rr, err := Refine(context.Background(), d, opts, res, RefineOptions{Budget: opts.RefineBudget})
+	if err != nil {
+		return nil, err
+	}
+	if rr.Improved {
+		res.Assignment = rr.Assignment
+		res.AdditionalCells = rr.AdditionalCells
+		res.ReusedFFs = rr.ReusedFFs
+	}
+	return res, nil
+}
+
+// RefineOptions configures the anytime solver portfolio (see
+// internal/refine): wall budget, RNG seed, step budget, strategy subset.
+type RefineOptions = refine.Options
+
+// RefineResult reports a refinement run: the winning plan (or the greedy
+// plan unchanged), the cells saved, and per-strategy outcomes.
+type RefineResult = refine.Result
+
+// Refine races the solver portfolio — deterministic local search, seeded
+// simulated annealing, bounded branch-and-bound — over a greedy
+// minimization result and returns the best plan that passes the
+// independent verifier before the deadline. The result is never worse than
+// the input plan: an expired context or a fruitless search hands the
+// greedy assignment back unchanged. opts must be the configuration the
+// plan was produced with (it prices the sharing model and is the contract
+// candidates are verified against).
+func Refine(ctx context.Context, d *Die, opts MinimizeOptions, res *MinimizeResult, ro RefineOptions) (*RefineResult, error) {
+	if d == nil || res == nil {
+		return nil, fmt.Errorf("wcm3d: Refine needs a die and a result")
+	}
+	return refine.Run(ctx, d.Input(), opts, res, ro)
 }
 
 // AgrawalOptions exposes the baseline configuration for a die/scenario so
