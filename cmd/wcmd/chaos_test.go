@@ -1,0 +1,327 @@
+package main
+
+// End-to-end crash tests against the real wcmd binary: kill -9 a daemon
+// mid-burst and assert the WAL-replay + cluster contracts — no
+// acknowledged job is ever lost, and every one reaches a terminal state
+// exactly once.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"wcm3d/internal/service"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// wcmdBinary builds the real daemon once per test process.
+func wcmdBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wcmd-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "wcmd")
+		cmd := exec.Command("go", "build", "-o", buildBin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// freePorts reserves n distinct loopback ports and releases them for the
+// daemons to bind (a small bind race, fine for tests).
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	liss := make([]net.Listener, n)
+	for i := range ports {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		liss[i] = lis
+		ports[i] = lis.Addr().(*net.TCPAddr).Port
+	}
+	for _, lis := range liss {
+		lis.Close()
+	}
+	return ports
+}
+
+// daemon is one wcmd process under test.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if testing.Verbose() {
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	return d
+}
+
+func waitHealthy(t *testing.T, url string, within time.Duration) {
+	t.Helper()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy", url)
+}
+
+// submitRetry posts one job, rotating across the entry URLs on transient
+// failures (the preferred entry or a redirect target may be down or
+// mid-failover), and returns the accepted status plus the URL of the node
+// that acknowledged it.
+func submitRetry(t *testing.T, entries []string, body string, within time.Duration) (service.JobStatus, string, bool) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(within)
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		entry := entries[attempt%len(entries)]
+		resp, err := client.Post(entry+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			var st service.JobStatus
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatalf("bad accept body: %v: %s", err, raw)
+			}
+			return st, "http://" + resp.Request.URL.Host, true
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return service.JobStatus{}, "", false
+}
+
+// terminalState polls one job until it leaves queued/running.
+func terminalState(t *testing.T, nodeURL, id string, within time.Duration) string {
+	t.Helper()
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(nodeURL + "/v1/jobs/" + id)
+		if err == nil {
+			var st service.JobStatus
+			ok := json.NewDecoder(resp.Body).Decode(&st) == nil && resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				switch st.State {
+				case service.StateDone, service.StateFailed, service.StateCanceled:
+					return st.State
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s on %s never reached a terminal state", id, nodeURL)
+	return ""
+}
+
+// TestKillDashNineLosesNoJobs: kill -9 a WAL-backed daemon in the middle
+// of a 50-job burst, restart it on the same -wal-dir, and require every
+// acknowledged job to reach a terminal state exactly once.
+func TestKillDashNineLosesNoJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	bin := wcmdBinary(t)
+	walDir := t.TempDir()
+	port := freePorts(t, 1)[0]
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	url := "http://" + addr
+	args := []string{"-addr", addr, "-wal-dir", walDir, "-workers", "2", "-queue", "128"}
+
+	d := startDaemon(t, bin, args...)
+	waitHealthy(t, url, 15*time.Second)
+
+	// Fire the burst; SIGKILL lands mid-flight after job 25 is accepted.
+	const burst = 50
+	var ids []string
+	for i := 1; i <= burst; i++ {
+		st, _, ok := submitRetry(t, []string{url}, `{"profile":"b11/0","seed":1}`, 10*time.Second)
+		if !ok {
+			t.Fatalf("submission %d never accepted", i)
+		}
+		ids = append(ids, st.ID)
+		if i == burst/2 {
+			if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			d.cmd.Wait()
+			break
+		}
+	}
+	accepted := len(ids)
+	if accepted != burst/2 {
+		t.Fatalf("accepted %d jobs before the kill, want %d", accepted, burst/2)
+	}
+
+	// Restart on the same WAL; the rest of the burst lands on the new
+	// process to prove recovery and live traffic coexist.
+	d2 := startDaemon(t, bin, args...)
+	_ = d2
+	waitHealthy(t, url, 15*time.Second)
+	for i := accepted + 1; i <= burst; i++ {
+		st, _, ok := submitRetry(t, []string{url}, `{"profile":"b11/0","seed":1}`, 10*time.Second)
+		if !ok {
+			t.Fatalf("post-restart submission %d never accepted", i)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Zero lost: every acknowledged id — including every pre-kill one —
+	// reaches done. Exactly once: ids are unique, and recovery reused the
+	// original ids rather than minting duplicates.
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("job id %s handed out twice across the crash", id)
+		}
+		seen[id] = true
+		if st := terminalState(t, url, id, 2*time.Minute); st != service.StateDone {
+			t.Fatalf("job %s ended %q after crash recovery", id, st)
+		}
+	}
+	if len(seen) != burst {
+		t.Fatalf("tracked %d unique jobs, want %d", len(seen), burst)
+	}
+}
+
+// TestClusterKillNodeChaos: a 3-node loopback cluster with stealing on;
+// SIGKILL one node mid-batch, restart it on its WAL, and require every
+// acknowledged job to complete exactly once somewhere.
+func TestClusterKillNodeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemons")
+	}
+	bin := wcmdBinary(t)
+	ports := freePorts(t, 3)
+	urls := make([]string, 3)
+	peerSpec := make([]string, 3)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+		peerSpec[i] = fmt.Sprintf("n%d=%s", i+1, urls[i])
+	}
+	peersFlag := strings.Join(peerSpec, ",")
+	walDirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	nodeArgs := func(i int) []string {
+		return []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-node-id", fmt.Sprintf("n%d", i+1),
+			"-peers", peersFlag,
+			"-wal-dir", walDirs[i],
+			"-workers", "2", "-queue", "128",
+			"-steal-interval", "200ms",
+		}
+	}
+	daemons := make([]*daemon, 3)
+	for i := range daemons {
+		daemons[i] = startDaemon(t, bin, nodeArgs(i)...)
+	}
+	for _, u := range urls {
+		waitHealthy(t, u, 20*time.Second)
+	}
+
+	// First half of the batch with all three nodes up; distinct seeds so
+	// the keys spread over the shard map.
+	const batch = 30
+	type placed struct{ id, acker string }
+	var jobs []placed
+	submit := func(i int) {
+		// Prefer a rotating entry node but fall back to the others when
+		// it (or its redirect target) is down.
+		entries := []string{urls[i%3], urls[(i+1)%3], urls[(i+2)%3]}
+		st, acker, ok := submitRetry(t, entries,
+			fmt.Sprintf(`{"profile":"b11/0","seed":%d}`, i), 30*time.Second)
+		if !ok {
+			t.Fatalf("job %d never accepted anywhere", i)
+		}
+		jobs = append(jobs, placed{st.ID, acker})
+	}
+	for i := 1; i <= batch/2; i++ {
+		submit(i)
+	}
+
+	// kill -9 node 2 mid-batch and keep submitting: entries retry, the
+	// dead node's shards fail over once its peers declare it dead.
+	if err := daemons[1].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemons[1].cmd.Wait()
+	for i := batch/2 + 1; i <= batch; i++ {
+		submit(i)
+	}
+
+	// Restart the killed node on its WAL: jobs it had acknowledged replay
+	// and drain (locally or stolen by the idle survivors).
+	daemons[1] = startDaemon(t, bin, nodeArgs(1)...)
+	waitHealthy(t, urls[1], 20*time.Second)
+
+	// Every acknowledged job reaches done exactly once, queried on the
+	// node that acknowledged it.
+	seen := make(map[string]int)
+	for _, p := range jobs {
+		seen[p.acker+"/"+p.id]++
+		if st := terminalState(t, p.acker, p.id, 2*time.Minute); st != service.StateDone {
+			t.Fatalf("job %s on %s ended %q", p.id, p.acker, st)
+		}
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %s acknowledged %d times", k, n)
+		}
+	}
+	if len(jobs) != batch {
+		t.Fatalf("placed %d jobs, want %d", len(jobs), batch)
+	}
+}

@@ -7,6 +7,9 @@
 //
 //	wcmd -addr :8080 -workers 8 -queue 64 -cache 16
 //	wcmd -pprof-addr localhost:6060   # expose net/http/pprof on a side listener
+//	wcmd -wal-dir /var/lib/wcmd/wal   # durable job log + crash recovery
+//	wcmd -node-id n1 -peers n1=http://h1:8080,n2=http://h2:8080 \
+//	     -wal-dir /var/lib/wcmd/wal   # clustered: sharded die cache + stealing
 //
 // Quick start:
 //
@@ -32,7 +35,9 @@ import (
 	"syscall"
 	"time"
 
+	"wcm3d/internal/cluster"
 	"wcm3d/internal/service"
+	"wcm3d/internal/wal"
 )
 
 func main() {
@@ -48,6 +53,12 @@ func main() {
 		gcInterval  = flag.Duration("gc-interval", time.Minute, "retention sweep period")
 		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "server-side cap on per-job/per-schedule timeout_ms")
 		schedConc   = flag.Int("schedule-concurrency", 0, "concurrent schedule runs before 429 (0 = workers)")
+
+		walDir = flag.String("wal-dir", "", "write-ahead job log directory; empty disables durability")
+
+		nodeID        = flag.String("node-id", "", "this node's id in -peers (required with -peers)")
+		peers         = flag.String("peers", "", "static cluster membership as id=url,id=url,...; empty runs single-node")
+		stealInterval = flag.Duration("steal-interval", time.Second, "work-stealing poll period when clustered (0 disables stealing)")
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
@@ -66,10 +77,20 @@ func main() {
 		MaxTimeout:          *maxTimeout,
 		ScheduleConcurrency: *schedConc,
 	}
-	if err := run(*addr, *pprofAddr, cfg, *drain, timeouts{
-		readHeader: *readHeaderTimeout,
-		read:       *readTimeout,
-		idle:       *idleTimeout,
+	if err := runNode(nodeOptions{
+		addr:      *addr,
+		pprofAddr: *pprofAddr,
+		cfg:       cfg,
+		drain:     *drain,
+		to: timeouts{
+			readHeader: *readHeaderTimeout,
+			read:       *readTimeout,
+			idle:       *idleTimeout,
+		},
+		walDir:        *walDir,
+		nodeID:        *nodeID,
+		peers:         *peers,
+		stealInterval: *stealInterval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wcmd:", err)
 		os.Exit(1)
@@ -88,23 +109,97 @@ type timeouts struct {
 	idle       time.Duration
 }
 
+// run starts a plain single-node daemon (no WAL, no cluster) — the
+// pre-durability behavior, kept as the simple entry point for tests.
 func run(addr, pprofAddr string, cfg service.Config, drain time.Duration, to timeouts) error {
-	svc := service.New(cfg)
-	pprofSrv, err := startPprof(pprofAddr, to)
+	return runNode(nodeOptions{addr: addr, pprofAddr: pprofAddr, cfg: cfg, drain: drain, to: to})
+}
+
+// nodeOptions is everything runNode needs to boot one daemon: the core
+// service config plus the durability (walDir) and clustering (nodeID,
+// peers, stealInterval) settings, each independently optional.
+type nodeOptions struct {
+	addr, pprofAddr string
+	cfg             service.Config
+	drain           time.Duration
+	to              timeouts
+	walDir          string
+	nodeID          string
+	peers           string
+	stealInterval   time.Duration
+}
+
+func runNode(o nodeOptions) error {
+	// Durability first: the WAL replays before any traffic is accepted, so
+	// recovered jobs get their original ids back before new submissions
+	// can claim them.
+	var jl *wal.Log
+	var rec service.Recovery
+	if o.walDir != "" {
+		var err error
+		jl, rec, err = wal.Open(o.walDir, wal.Options{Retention: o.cfg.RetentionTTL})
+		if err != nil {
+			return fmt.Errorf("open wal %s: %w", o.walDir, err)
+		}
+		defer jl.Close()
+		o.cfg.Journal = jl
+		if rec.Corrupted > 0 {
+			log.Printf("wcmd: wal: %d segment(s) had a torn or corrupt tail; damaged records discarded", rec.Corrupted)
+		}
+	}
+	o.cfg.Logf = log.Printf
+	svc := service.New(o.cfg)
+	if o.walDir != "" {
+		requeued, restored, err := svc.Recover(rec)
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		if requeued+restored > 0 {
+			log.Printf("wcmd: wal: recovered %d job(s): %d re-queued for execution, %d restored finished", requeued+restored, requeued, restored)
+		}
+	}
+
+	// Clustering second: attach before Handler so the cluster routes exist.
+	var cl *cluster.Cluster
+	if o.peers != "" {
+		if o.nodeID == "" {
+			return errors.New("-peers requires -node-id")
+		}
+		ps, err := cluster.ParsePeers(o.peers)
+		if err != nil {
+			return err
+		}
+		cl, err = cluster.New(cluster.Options{
+			Self:          o.nodeID,
+			Peers:         ps,
+			Svc:           svc,
+			Logf:          log.Printf,
+			StealInterval: o.stealInterval,
+		})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		svc.AttachCluster(cl)
+		log.Printf("wcmd: cluster: node %s of %d peers (stealing %s)", o.nodeID, len(ps),
+			map[bool]string{true: "on, every " + o.stealInterval.String(), false: "off"}[o.stealInterval > 0])
+	}
+
+	pprofSrv, err := startPprof(o.pprofAddr, o.to)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           svc.Handler(),
-		ReadHeaderTimeout: to.readHeader,
-		ReadTimeout:       to.read,
-		IdleTimeout:       to.idle,
+		ReadHeaderTimeout: o.to.readHeader,
+		ReadTimeout:       o.to.read,
+		IdleTimeout:       o.to.idle,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("wcmd: listening on %s", addr)
+		log.Printf("wcmd: listening on %s", o.addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -113,7 +208,7 @@ func run(addr, pprofAddr string, cfg service.Config, drain time.Duration, to tim
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	return serve(svc, srv, pprofSrv, errc, sig, drain)
+	return serve(svc, srv, pprofSrv, errc, sig, o.drain)
 }
 
 // startPprof binds the profiling side listener up front — so a bad
@@ -180,7 +275,13 @@ func serve(svc *service.Service, srv, pprofSrv *http.Server, errc <-chan error, 
 	}
 	log.Printf("wcmd: drained: %d done, %d failed, %d canceled", d.rep.Done, d.rep.Failed, d.rep.Canceled)
 	if d.err != nil {
-		log.Printf("wcmd: drain cut short (%v): %d jobs abandoned as canceled", d.err, d.rep.Canceled)
+		log.Printf("wcmd: drain cut short (%v): %d job(s) abandoned", d.err, len(d.rep.Abandoned))
+	}
+	// Name every job the drain cut off. With -wal-dir set these are not
+	// lost: their terminal transition was deliberately withheld from the
+	// journal, so the next boot replays them as pending.
+	for _, id := range d.rep.Abandoned {
+		log.Printf("wcmd: abandoned job %s (recoverable from the WAL on next boot)", id)
 	}
 	if pprofSrv != nil {
 		_ = pprofSrv.Close()

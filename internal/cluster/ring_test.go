@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allAlive(string) bool { return true }
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r1 := newRing(nodes, 64)
+	r2 := newRing([]string{"n3", "n1", "n2"}, 64) // order must not matter
+
+	owners := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("b11/0|%d", i)
+		o := r1.lookup(key, allAlive)
+		if o2 := r2.lookup(key, allAlive); o2 != o {
+			t.Fatalf("key %s: ring order changed owner %s -> %s", key, o, o2)
+		}
+		owners[o]++
+	}
+	// Even with few vnodes the split should be in the same order of
+	// magnitude per node; a node owning nothing means the ring is broken.
+	for _, n := range nodes {
+		if owners[n] < 100 {
+			t.Fatalf("lopsided ring: %v", owners)
+		}
+	}
+}
+
+func TestRingFailoverAndReturn(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := newRing(nodes, 64)
+	aliveNot := func(dead string) func(string) bool {
+		return func(id string) bool { return id != dead }
+	}
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before := r.lookup(key, allAlive)
+		during := r.lookup(key, aliveNot("n2"))
+		if during == "n2" {
+			t.Fatalf("key %s routed to a dead node", key)
+		}
+		if before != "n2" && during != before {
+			t.Fatalf("key %s owned by live node %s moved to %s", key, before, during)
+		}
+		if before == "n2" {
+			moved++
+		}
+		// When the node returns, every key snaps back to its home shard.
+		if after := r.lookup(key, allAlive); after != before {
+			t.Fatalf("key %s did not return home: %s -> %s", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no key was owned by the dead node")
+	}
+}
+
+func TestRingAllDeadFallsBack(t *testing.T) {
+	r := newRing([]string{"n1", "n2"}, 8)
+	if o := r.lookup("key", func(string) bool { return false }); o == "" {
+		t.Fatal("lookup with all nodes dead returned nobody")
+	}
+}
+
+func TestRingTokensPerNode(t *testing.T) {
+	r := newRing([]string{"a", "b"}, 32)
+	m := r.tokensPerNode()
+	if m["a"] != 32 || m["b"] != 32 {
+		t.Fatalf("shard map %v, want 32 tokens each", m)
+	}
+}

@@ -1,23 +1,34 @@
 package service
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs      submit a minimize request (202, 400, 413, 429, 503);
+//	POST   /v1/jobs      submit a minimize request (202, 307, 400, 413, 429, 500, 503);
 //	                     ?verify=true requests independent plan verification
-//	GET    /v1/jobs      list retained jobs (?state=<state>&limit=<n>)
+//	GET    /v1/jobs      list retained jobs (?state=<state>&limit=<n>&cursor=<tok>)
 //	GET    /v1/jobs/{id} poll one job
 //	DELETE /v1/jobs/{id} cancel one job
 //	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 413, 429, 503)
 //	GET    /v1/dies      list cached prepared dies
-//	GET    /healthz      liveness (503 once shutdown begins)
+//	GET    /healthz      liveness (503 once shutdown begins); cluster-aware
 //	GET    /metrics      expvar-style counters and latency histograms
+//
+// With a cluster attached (AttachCluster), three more routes exist:
+//
+//	GET    /v1/cluster              membership: per-peer liveness, queue depth, shard map
+//	POST   /v1/cluster/steal        hand queued jobs to a pulling peer
+//	POST   /v1/cluster/complete/{id} apply a thief's terminal report to a stolen job
+//
+// and POST /v1/jobs submissions whose die key is owned by a live peer are
+// 307-redirected to the owner, so each die is prepared on exactly one node.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -28,6 +39,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dies", s.handleDies)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleClusterInfo)
+		mux.HandleFunc("POST /v1/cluster/steal", s.handleSteal)
+		mux.HandleFunc("POST /v1/cluster/complete/{id}", s.handleCompleteStolen)
+	}
 	return mux
 }
 
@@ -81,6 +97,22 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		req.Refine = true
 	}
+	if s.cluster != nil {
+		// Route the submission to the node owning its die key, so each
+		// die is prepared on exactly one node fleet-wide. 307 preserves
+		// the method and body; Go's http.Client follows it transparently.
+		j, err := s.resolve(req)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		if ownerURL, self := s.cluster.Route(j.spec.Name, j.spec.Seed); !self {
+			w.Header().Set("Location", ownerURL+r.URL.RequestURI())
+			writeJSON(w, http.StatusTemporaryRedirect,
+				errorBody{Error: "die key owned by peer, resubmit to " + ownerURL})
+			return
+		}
+	}
 	st, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -88,6 +120,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrJournal):
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	default:
@@ -121,6 +155,29 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cursorStart is the documented bootstrap cursor: "scan from the oldest
+// retained job". Every other accepted cursor is a `next` token from an
+// earlier response.
+const cursorStart = "0"
+
+// encodeCursor wraps a job id into the opaque resume token echoed as
+// `next`: the listing continues strictly after this id.
+func encodeCursor(id string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("v1:" + id))
+}
+
+// decodeCursor reverses encodeCursor; cursorStart maps to the beginning.
+func decodeCursor(tok string) (after string, err error) {
+	if tok == cursorStart {
+		return "", nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil || !strings.HasPrefix(string(raw), "v1:") {
+		return "", errors.New("malformed cursor")
+	}
+	return strings.TrimPrefix(string(raw), "v1:"), nil
+}
+
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	state := q.Get("state")
@@ -139,9 +196,39 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	writeJSON(w, http.StatusOK, struct {
+	type envelope struct {
 		Jobs []JobStatus `json:"jobs"`
-	}{Jobs: s.JobsFiltered(state, limit)})
+		// Next is the opaque cursor resuming the listing strictly after
+		// the last returned job; echo it back as ?cursor= to continue.
+		Next string `json:"next,omitempty"`
+	}
+	var env envelope
+	if tok := q.Get("cursor"); tok != "" {
+		// Cursor mode: a forward scan, oldest first, truncated to the
+		// FIRST limit entries past the cursor. An empty page re-echoes
+		// the request cursor so pollers can keep tailing for new jobs.
+		after, err := decodeCursor(tok)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed cursor"})
+			return
+		}
+		jobs, last := s.JobsPage(state, limit, after)
+		env.Jobs = jobs
+		if last != "" {
+			env.Next = encodeCursor(last)
+		} else {
+			env.Next = tok
+		}
+	} else {
+		// Legacy mode: limit keeps the most recent entries (still oldest
+		// first). Next still points past the last listed job, so a
+		// client can switch to cursor mode to follow new arrivals.
+		env.Jobs = s.JobsFiltered(state, limit)
+		if n := len(env.Jobs); n > 0 {
+			env.Next = encodeCursor(env.Jobs[n-1].ID)
+		}
+	}
+	writeJSON(w, http.StatusOK, env)
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -169,14 +256,80 @@ func (s *Service) handleDies(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	type clusterHealth struct {
+		Self  string `json:"self"`
+		Alive int    `json:"alive"`
+		Total int    `json:"total"`
+	}
 	type health struct {
-		Status string `json:"status"`
+		Status  string         `json:"status"`
+		Cluster *clusterHealth `json:"cluster,omitempty"`
+	}
+	var ch *clusterHealth
+	if s.cluster != nil {
+		info := s.cluster.Info()
+		ch = &clusterHealth{Self: info.Self, Total: len(info.Peers)}
+		for _, p := range info.Peers {
+			if p.Alive {
+				ch.Alive++
+			}
+		}
 	}
 	if !s.Healthy() {
-		writeJSON(w, http.StatusServiceUnavailable, health{Status: "shutting down"})
+		writeJSON(w, http.StatusServiceUnavailable, health{Status: "shutting down", Cluster: ch})
 		return
 	}
-	writeJSON(w, http.StatusOK, health{Status: "ok"})
+	writeJSON(w, http.StatusOK, health{Status: "ok", Cluster: ch})
+}
+
+// handleClusterInfo serves the membership snapshot: per-peer liveness,
+// queue depth and the shard map. Peers also poll it as the liveness +
+// load probe feeding their steal decisions.
+func (s *Service) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	info := s.cluster.Info()
+	info.QueueDepth = s.QueueDepth()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// stealRequest is the body of POST /v1/cluster/steal.
+type stealRequest struct {
+	// Thief identifies the pulling node; Count bounds how many queued
+	// jobs it wants.
+	Thief string `json:"thief"`
+	Count int    `json:"count"`
+}
+
+func (s *Service) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Thief == "" || req.Count <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "steal needs thief and a positive count"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []StolenJob `json:"jobs"`
+	}{Jobs: s.StealQueued(req.Count, req.Thief)})
+}
+
+// completeRequest is the body of POST /v1/cluster/complete/{id}: a
+// thief's terminal report for a job it stole.
+type completeRequest struct {
+	State  string  `json:"state"`
+	Error  string  `json:"error,omitempty"`
+	Result *Report `json:"result,omitempty"`
+}
+
+func (s *Service) handleCompleteStolen(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	applied := s.CompleteStolen(r.PathValue("id"), req.State, req.Error, req.Result)
+	writeJSON(w, http.StatusOK, struct {
+		Applied bool `json:"applied"`
+	}{Applied: applied})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,17 @@ type Metrics struct {
 	// JobsPruned counts finished jobs dropped by the retention policy
 	// (TTL expiry or the finished-entries cap).
 	JobsPruned atomic.Int64
+	// JobsRecovered counts jobs reconstructed from the write-ahead log at
+	// boot (re-queued pending/orphaned jobs plus restored finished ones).
+	JobsRecovered atomic.Int64
+	// JobsStolen counts queued jobs handed to stealing peers;
+	// JobsReclaimed counts stolen jobs re-queued locally after their
+	// thief was declared dead.
+	JobsStolen    atomic.Int64
+	JobsReclaimed atomic.Int64
+	// WALErrors counts non-fatal journal write failures (start/finish
+	// records); submission-path journal failures refuse the job instead.
+	WALErrors atomic.Int64
 
 	// Schedule counters: synchronous POST /v1/schedules outcomes. Rejected
 	// counts runs bounced by the admission semaphore (HTTP 429).
@@ -204,7 +215,17 @@ type MetricsSnapshot struct {
 		// Pruned counts jobs dropped by the retention policy.
 		Retained int   `json:"retained"`
 		Pruned   int64 `json:"pruned"`
+		// Recovered counts jobs replayed from the WAL at boot; Stolen and
+		// Reclaimed count cluster work-stealing traffic (jobs handed out,
+		// jobs taken back from dead thieves).
+		Recovered int64 `json:"recovered"`
+		Stolen    int64 `json:"stolen"`
+		Reclaimed int64 `json:"reclaimed"`
 	} `json:"jobs"`
+	WAL struct {
+		// Errors counts non-fatal journal write failures.
+		Errors int64 `json:"errors"`
+	} `json:"wal"`
 	Cache struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
@@ -242,6 +263,10 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Jobs.Canceled = m.JobsCanceled.Load()
 	s.Jobs.Rejected = m.JobsRejected.Load()
 	s.Jobs.Pruned = m.JobsPruned.Load()
+	s.Jobs.Recovered = m.JobsRecovered.Load()
+	s.Jobs.Stolen = m.JobsStolen.Load()
+	s.Jobs.Reclaimed = m.JobsReclaimed.Load()
+	s.WAL.Errors = m.WALErrors.Load()
 	s.Schedules.Done = m.SchedulesDone.Load()
 	s.Schedules.Failed = m.SchedulesFailed.Load()
 	s.Schedules.Rejected = m.SchedulesRejected.Load()

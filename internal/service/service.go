@@ -45,6 +45,14 @@ type Config struct {
 	// Prepare builds a die from a spec. Nil uses DefaultPrepare; tests
 	// substitute counting, blocking or failing fault-injection hooks here.
 	Prepare func(ctx context.Context, spec DieSpec) (*wcm3d.Die, error)
+	// Journal, when non-nil, makes the job table durable: every accepted
+	// job is recorded before it is queued, and a crash replays pending
+	// and orphaned jobs on the next boot (see internal/wal and Recover).
+	// Nil — the default — keeps the single-node in-memory behavior.
+	Journal Journal
+	// Logf receives operational log lines (recovery notes, journal write
+	// failures, steal traffic). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // DieSpec identifies the die a job wants prepared.
@@ -145,14 +153,31 @@ type job struct {
 	submitted time.Time
 	started   *time.Time
 	finished  *time.Time
+	// abandoned marks a job cut off by the shutdown drain deadline: its
+	// terminal transition is deliberately NOT journaled, so a configured
+	// WAL replays it as pending on the next boot instead of losing it.
+	abandoned bool
+	// remote is the peer id currently executing this job after a steal
+	// ("" when running locally); remoteOrigin marks a job this node is
+	// executing on a peer's behalf (excluded from the local journal,
+	// routing and re-stealing).
+	remote       string
+	remoteOrigin bool
+	// onFinish fires exactly once when the job reaches a terminal state
+	// (the cluster layer uses it to report stolen-job results back).
+	onFinish func(JobStatus)
 }
 
 // DrainReport summarizes a shutdown: how the accepted jobs ended up. Jobs
-// cut off by the drain deadline are reported as canceled.
+// cut off by the drain deadline are reported as canceled and listed in
+// Abandoned; with a journal configured they are deliberately left
+// un-finalized in the WAL so the next boot replays them instead of
+// dropping them silently.
 type DrainReport struct {
-	Done     int `json:"done"`
-	Failed   int `json:"failed"`
-	Canceled int `json:"canceled"`
+	Done      int      `json:"done"`
+	Failed    int      `json:"failed"`
+	Canceled  int      `json:"canceled"`
+	Abandoned []string `json:"abandoned,omitempty"`
 }
 
 // Service is the WCM daemon core: it validates and queues minimization
@@ -166,6 +191,9 @@ type Service struct {
 	pool     *pool
 	schedSem chan struct{} // schedule-admission semaphore
 	gcStop   chan struct{} // closed by Shutdown; ends the retention sweeper
+	// cluster is the optional cluster view (AttachCluster); set once
+	// before Handler, read without locking afterwards.
+	cluster ClusterView
 
 	mu     sync.Mutex
 	closed bool
@@ -289,13 +317,22 @@ func (s *Service) effectiveTimeout(ms int64) time.Duration {
 }
 
 // Submit validates req and queues it. It returns the queued job's status,
-// or ErrQueueFull under backpressure, ErrShuttingDown after Shutdown, and
+// or ErrQueueFull under backpressure, ErrShuttingDown after Shutdown,
+// ErrJournal when the write-ahead log cannot make the job durable, and
 // plain validation errors for malformed requests.
 func (s *Service) Submit(req JobRequest) (JobStatus, error) {
 	j, err := s.resolve(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	return s.enqueue(j)
+}
+
+// enqueue assigns an id to a resolved job, journals it (unless the job is
+// remote-origin or no journal is configured), and hands it to the pool.
+// The journal write happens before the pool can run the job, so every job
+// a client ever saw accepted is recoverable after a crash.
+func (s *Service) enqueue(j *job) (JobStatus, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -309,12 +346,29 @@ func (s *Service) Submit(req JobRequest) (JobStatus, error) {
 	s.gcLocked(time.Now())
 	s.mu.Unlock()
 
+	if s.cfg.Journal != nil && !j.remoteOrigin {
+		if err := s.cfg.Journal.Submit(j.id, j.req); err != nil {
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			s.mu.Unlock()
+			s.metrics.WALErrors.Add(1)
+			return JobStatus{}, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	if err := s.pool.trySubmit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.JobsRejected.Add(1)
+		}
+		if s.cfg.Journal != nil && !j.remoteOrigin {
+			// Neutralize the submit record: the client was refused, so the
+			// job must not rise from the log on the next boot.
+			if jerr := s.cfg.Journal.Cancel(j.id); jerr != nil {
+				s.metrics.WALErrors.Add(1)
+				s.logf("wcmd: journal cancel %s after rejection: %v", j.id, jerr)
+			}
 		}
 		return JobStatus{}, err
 	}
@@ -360,6 +414,37 @@ func (s *Service) JobsFiltered(state string, limit int) []JobStatus {
 	return out
 }
 
+// JobsPage lists retained jobs oldest first starting strictly after the
+// job id `after` ("" = from the beginning), optionally restricted to one
+// state and truncated to the FIRST limit entries (0 = no limit). It
+// returns the page and the id of the last returned job — the resume point
+// the HTTP layer hands back as the opaque `next` cursor.
+func (s *Service) JobsPage(state string, limit int, after string) ([]JobStatus, string) {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.id > after {
+			js = append(js, j)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(js, func(a, b int) bool { return js[a].id < js[b].id })
+	out := make([]JobStatus, 0, len(js))
+	last := ""
+	for _, j := range js {
+		st := s.status(j)
+		if state != "" && st.State != state {
+			continue
+		}
+		out = append(out, st)
+		last = st.ID
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out, last
+}
+
 // Cancel cancels a job: a queued job is marked canceled before it starts;
 // a running job's context is cancelled so it aborts at the next stage
 // boundary. It reports whether the id was known.
@@ -370,15 +455,21 @@ func (s *Service) Cancel(id string) (JobStatus, bool) {
 		s.mu.Unlock()
 		return JobStatus{}, false
 	}
+	canceledQueued := false
 	switch j.state {
 	case StateQueued:
 		s.finishLocked(j, StateCanceled, nil, context.Canceled)
+		canceledQueued = true
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
 	s.mu.Unlock()
+	if canceledQueued {
+		s.journalFinish(j)
+		s.notifyFinish(j)
+	}
 	return s.status(j), true
 }
 
@@ -481,13 +572,20 @@ func (s *Service) Shutdown(ctx context.Context) (DrainReport, error) {
 		case StateCanceled:
 			rep.Canceled++
 		case StateQueued, StateRunning:
-			// The pool has exited, so nothing will run these; account
-			// for them as canceled.
+			// The pool has exited, so nothing will run these; account for
+			// them as canceled. They are abandoned, not finished: no
+			// terminal record reaches the journal, so a configured WAL
+			// replays them on the next boot instead of dropping them.
+			j.abandoned = true
 			s.finishLocked(j, StateCanceled, nil, context.Canceled)
 			rep.Canceled++
 		}
+		if j.abandoned && !j.remoteOrigin {
+			rep.Abandoned = append(rep.Abandoned, j.id)
+		}
 	}
 	s.mu.Unlock()
+	sort.Strings(rep.Abandoned)
 	return rep, err
 }
 
@@ -545,6 +643,9 @@ func (s *Service) runJob(poolCtx context.Context, j *job) {
 	s.mu.Unlock()
 	defer cancel()
 
+	if !j.remoteOrigin {
+		s.journalStart(j.id)
+	}
 	s.metrics.JobsRunning.Add(1)
 	start := time.Now()
 	rep, err := s.execute(ctx, j)
@@ -560,11 +661,19 @@ func (s *Service) runJob(poolCtx context.Context, j *job) {
 		// or shutdown) — a context error that bubbled out of shared
 		// machinery while this job is still live is a plain failure, not
 		// someone else's cancellation.
+		if poolCtx.Err() != nil {
+			// The drain deadline expired, not the job's own deadline or a
+			// client cancel: abandon instead of finalizing, so the WAL
+			// replays the job on the next boot.
+			j.abandoned = true
+		}
 		s.finishLocked(j, StateCanceled, nil, err)
 	default:
 		s.finishLocked(j, StateFailed, nil, err)
 	}
 	s.mu.Unlock()
+	s.journalFinish(j)
+	s.notifyFinish(j)
 }
 
 // preparer wraps cfg.Prepare for one spec with prepare-stage metrics that

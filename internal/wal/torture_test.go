@@ -1,0 +1,337 @@
+package wal
+
+// Torture tests: every way a crash or disk can mangle the log — torn
+// tail writes, bit rot, a crash between compaction's write-new and
+// delete-old steps — must recover to exactly the state the intact prefix
+// describes, never an error and never a lost acknowledged record.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wcm3d/internal/service"
+)
+
+// activeSegPath returns the highest-numbered (append-target) segment.
+func activeSegPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := segments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments(%s): %v %v", dir, segs, err)
+	}
+	return filepath.Join(dir, segName(segs[len(segs)-1]))
+}
+
+func TestTortureTruncatedTail(t *testing.T) {
+	for _, cut := range []int64{1, 3, 7, 12} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openTest(t, dir, Options{})
+			for i := 1; i <= 3; i++ {
+				if err := l.Submit(jid(i), reqFor("b11/0")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Finish(jid(3), service.StateDone, "", nil); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+
+			// Chop into the final frame: the finish record is damaged, so
+			// j-000003 must come back as pending, not done.
+			path := activeSegPath(t, dir)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-cut); err != nil {
+				t.Fatal(err)
+			}
+
+			_, rec := openTest(t, dir, Options{})
+			if rec.Corrupted != 1 {
+				t.Fatalf("Corrupted = %d, want 1", rec.Corrupted)
+			}
+			if len(rec.Jobs) != 3 {
+				t.Fatalf("recovered %d jobs, want 3 (prefix intact)", len(rec.Jobs))
+			}
+			j3, _ := findJob(rec, jid(3))
+			if j3.State != "" {
+				t.Fatalf("j-000003 state %q, want pending (finish record was torn)", j3.State)
+			}
+		})
+	}
+}
+
+func TestTortureBitFlippedCRC(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		if err := l.Submit(jid(i), reqFor("b11/0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := activeSegPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit two-thirds into the file: the frame containing
+	// it fails its CRC and the segment's readable part ends there.
+	data[len(data)*2/3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openTest(t, dir, Options{})
+	if rec.Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", rec.Corrupted)
+	}
+	if len(rec.Jobs) == 0 || len(rec.Jobs) >= 5 {
+		t.Fatalf("recovered %d jobs, want a proper non-empty prefix of 5", len(rec.Jobs))
+	}
+	// The prefix must be contiguous: j-1..j-k with no holes.
+	for i := 1; i <= len(rec.Jobs); i++ {
+		if _, ok := findJob(rec, jid(i)); !ok {
+			t.Fatalf("hole in recovered prefix at %s: %+v", jid(i), rec.Jobs)
+		}
+	}
+}
+
+// TestTortureCorruptMiddleSegmentKeepsLaterOnes: damage in an OLD segment
+// must not take later segments down with it.
+func TestTortureCorruptMiddleSegmentKeepsLaterOnes(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{SegmentBytes: 256})
+	for i := 1; i <= 30; i++ {
+		if err := l.Submit(jid(i), reqFor("b11/0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %v", segs)
+	}
+	mid := filepath.Join(dir, segName(segs[len(segs)/2]))
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[9] ^= 0xFF // first frame's payload: kills the whole middle segment
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openTest(t, dir, Options{})
+	if rec.Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", rec.Corrupted)
+	}
+	// Jobs from segments after the damaged one must still be there.
+	if _, ok := findJob(rec, jid(30)); !ok {
+		t.Fatalf("job from a later segment lost: recovered %d jobs", len(rec.Jobs))
+	}
+	if rec.MaxSeq != 30 {
+		t.Fatalf("MaxSeq = %d, want 30", rec.MaxSeq)
+	}
+}
+
+// TestTortureMidCompactionCrash: a crash after compaction wrote the new
+// segment but before it deleted the old ones leaves BOTH on disk. Replay
+// must fold the duplicates idempotently — same jobs, same states, no
+// resurrection of pre-compaction state.
+func TestTortureMidCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 4; i++ {
+		if err := l.Submit(jid(i), reqFor("b11/0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Finish(jid(1), service.StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start(jid(2)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Simulate the interrupted compaction: duplicate the live segment
+	// under the next number, as writeCompacted would have, and leave the
+	// original in place (the crash happened before os.Remove).
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(filepath.Join(dir, segName(last)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(last+1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openTest(t, dir, Options{})
+	if rec.Corrupted != 0 {
+		t.Fatalf("duplicated segments are not corruption, got Corrupted=%d", rec.Corrupted)
+	}
+	if len(rec.Jobs) != 4 {
+		t.Fatalf("recovered %d jobs, want 4 (duplicates folded)", len(rec.Jobs))
+	}
+	j1, _ := findJob(rec, jid(1))
+	j2, _ := findJob(rec, jid(2))
+	if j1.State != service.StateDone || !j2.Orphaned {
+		t.Fatalf("duplicate fold changed outcomes: j1=%+v j2=%+v", j1, j2)
+	}
+}
+
+// modelJob mirrors what replay should reconstruct for one job.
+type modelJob struct {
+	started  bool
+	terminal string
+}
+
+// TestTortureCrashReplayProperty is the seeded property test: apply a
+// random op sequence, crash at a random byte (possibly mid-frame, and
+// with rotation in play), and require the recovered state to equal the
+// model folded over exactly the ops whose frames survived intact.
+func TestTortureCrashReplayProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			segBytes := int64(1 << 20)
+			if seed%3 == 0 {
+				segBytes = 300 // force rotation on a third of the seeds
+			}
+			l, _ := openTest(t, dir, Options{SegmentBytes: segBytes})
+
+			type opPoint struct {
+				seg  int
+				size int64 // active segment size AFTER the op's frame
+			}
+			var points []opPoint
+			model := make(map[string]*modelJob)
+			var ops []func(map[string]*modelJob)
+			nextID := 0
+			ids := func() []string {
+				out := make([]string, 0, len(model))
+				for id := range model {
+					out = append(out, id)
+				}
+				return out
+			}
+			nOps := 20 + rng.Intn(40)
+			for i := 0; i < nOps; i++ {
+				var apply func(map[string]*modelJob)
+				switch k := rng.Intn(4); {
+				case k == 0 || len(model) == 0:
+					nextID++
+					id := jid(nextID)
+					if err := l.Submit(id, reqFor("b11/0")); err != nil {
+						t.Fatal(err)
+					}
+					apply = func(m map[string]*modelJob) { m[id] = &modelJob{} }
+				case k == 1:
+					id := ids()[rng.Intn(len(model))]
+					if err := l.Start(id); err != nil {
+						t.Fatal(err)
+					}
+					apply = func(m map[string]*modelJob) { m[id].started = true }
+				case k == 2:
+					id := ids()[rng.Intn(len(model))]
+					state := service.StateDone
+					if rng.Intn(2) == 0 {
+						state = service.StateFailed
+					}
+					if err := l.Finish(id, state, "", nil); err != nil {
+						t.Fatal(err)
+					}
+					apply = func(m map[string]*modelJob) {
+						if m[id].terminal == "" {
+							m[id].terminal = state
+						}
+					}
+				default:
+					id := ids()[rng.Intn(len(model))]
+					if err := l.Cancel(id); err != nil {
+						t.Fatal(err)
+					}
+					apply = func(m map[string]*modelJob) {
+						if m[id].terminal == "" {
+							m[id].terminal = service.StateCanceled
+						}
+					}
+				}
+				apply(model)
+				ops = append(ops, apply)
+				l.mu.Lock()
+				points = append(points, opPoint{seg: l.seg, size: l.size})
+				l.mu.Unlock()
+			}
+			l.Close()
+
+			// Crash after op k: keep every segment before the final one
+			// intact, truncate the final segment at op k's boundary plus a
+			// few garbage bytes of the next frame. Only ops living in the
+			// final segment are valid crash points (earlier segments are
+			// sealed and survive whole).
+			finalSeg := points[len(points)-1].seg
+			firstInFinal := 0
+			for i, p := range points {
+				if p.seg == finalSeg {
+					firstInFinal = i
+					break
+				}
+			}
+			k := firstInFinal + rng.Intn(len(points)-firstInFinal)
+			cutAt := points[k].size
+			torn := rng.Intn(6) // 0 = clean frame boundary, else a partial next frame
+			path := filepath.Join(dir, segName(finalSeg))
+			if st, err := os.Stat(path); err == nil && cutAt+int64(torn) < st.Size() {
+				cutAt += int64(torn)
+			} else {
+				torn = 0
+			}
+			if err := os.Truncate(path, cutAt); err != nil {
+				t.Fatal(err)
+			}
+
+			// Expected state: the model folded over ops[0..k] only.
+			want := make(map[string]*modelJob)
+			for _, apply := range ops[:k+1] {
+				apply(want)
+			}
+
+			_, rec := openTest(t, dir, Options{})
+			if got := len(rec.Jobs); got != len(want) {
+				t.Fatalf("recovered %d jobs, want %d (crash after op %d/%d)", got, len(want), k, nOps)
+			}
+			for id, m := range want {
+				rj, ok := findJob(rec, id)
+				if !ok {
+					t.Fatalf("job %s lost at crash point %d", id, k)
+				}
+				if rj.State != m.terminal {
+					t.Fatalf("job %s state %q, want %q", id, rj.State, m.terminal)
+				}
+				wantOrphan := m.started && m.terminal == ""
+				if rj.Orphaned != wantOrphan {
+					t.Fatalf("job %s orphaned=%v, want %v", id, rj.Orphaned, wantOrphan)
+				}
+			}
+			if torn > 0 && rec.Corrupted != 1 {
+				t.Fatalf("torn tail (%d bytes) not flagged: Corrupted=%d", torn, rec.Corrupted)
+			}
+		})
+	}
+}
