@@ -327,6 +327,7 @@ func BenchmarkWCM(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var res *wcm.Result
 	for i := 0; i < b.N; i++ {

@@ -11,6 +11,7 @@
 //	tables -table 4 -budget reduced  # faster, lower-effort ATPG
 //	tables -tam -widths 16,32,64     # stack test time vs total TAM wires
 //	tables -refine -refine-budget 5s # greedy vs solver portfolio, all 24 dies
+//	tables -batch                    # 24-die sweep through the batch engine
 //	tables -table 2 -json            # machine-readable rows
 //
 // With -json the output is an array of experiment reports in the shared
@@ -22,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,8 +33,11 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
+	"wcm3d"
+	"wcm3d/internal/batch"
 	"wcm3d/internal/experiments"
 	"wcm3d/internal/netgen"
 	"wcm3d/internal/service"
@@ -46,6 +51,7 @@ func main() {
 		all          = flag.Bool("all", false, "regenerate every table, figure, and the TAM sweep")
 		refineGap    = flag.Bool("refine", false, "regenerate the refinement gap table (greedy vs solver portfolio; not part of -all)")
 		refineBudget = flag.Duration("refine-budget", 2*time.Second, "per-die wall budget for -refine")
+		batchSweep   = flag.Bool("batch", false, "run the Table II die set through the streaming batch engine (internal/batch; not part of -all)")
 		circuits     = flag.String("circuits", "", "comma-separated circuit families (default: the paper's set for each experiment)")
 		widths       = flag.String("widths", "16,32,64", `comma-separated total TAM wire budgets for -tam`)
 		seed         = flag.Int64("seed", 1, "generation seed")
@@ -62,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
-	runErr := run(os.Stdout, *table, *figure, *tam, *all, *refineGap, *refineBudget, *circuits, *widths, *seed, *budget, *short, *asJSON)
+	runErr := run(os.Stdout, *table, *figure, *tam, *all, *refineGap, *refineBudget, *batchSweep, *circuits, *widths, *seed, *budget, *short, *asJSON)
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -109,7 +115,7 @@ func startProfiles(cpuprofile, memprofile string) (stop func() error, err error)
 	}, nil
 }
 
-func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget time.Duration, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
+func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget time.Duration, batchSweep bool, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
 	if short {
 		budgetName = "reduced"
 		if circuits == "" {
@@ -157,8 +163,8 @@ func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget 
 		}
 		return table == n
 	}
-	if !all && !tam && !refineGap && table == 0 && figure == 0 {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, -tam, or -refine")
+	if !all && !tam && !refineGap && !batchSweep && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, -tam, -refine, or -batch")
 	}
 	ran := false
 
@@ -347,6 +353,23 @@ func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget 
 			return err
 		}
 	}
+	if batchSweep {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("Batch sweep", func() error {
+			rows, elapsed, err := batchSweepRows(profiles, seed)
+			if err != nil {
+				return err
+			}
+			emit("batch_sweep", rows, func(w io.Writer) { renderBatchSweep(w, rows, elapsed) })
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("no experiment matches -table %d / -figure %d", table, figure)
 	}
@@ -356,6 +379,71 @@ func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget 
 		return enc.Encode(reports)
 	}
 	return nil
+}
+
+// batchSweepRow is one die of the -batch sweep: the paper-method plan
+// under tight timing, plus where that die's wall time went.
+type batchSweepRow struct {
+	Die             string
+	ReusedFFs       int
+	AdditionalCells int
+	PrepareMS       float64
+	SolveMS         float64
+}
+
+// batchSweepRows runs the profiles through the streaming batch engine
+// (internal/batch) with its default pipeline sizing. The plans are
+// bit-identical to serial wcm3d.Minimize calls; what the engine buys is
+// bounded memory and overlap of prepare and solve stages.
+func batchSweepRows(profiles []netgen.Profile, seed int64) ([]batchSweepRow, time.Duration, error) {
+	specs := make([]batch.Spec, len(profiles))
+	for i, p := range profiles {
+		specs[i] = batch.Spec{Profile: p, Seed: seed}
+	}
+	res, err := batch.Run(context.Background(), specs, batch.Config{
+		Method: wcm3d.MethodOurs,
+		Mode:   wcm3d.TightTiming,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := make([]batchSweepRow, len(res.Dies))
+	for i, d := range res.Dies {
+		if d.Err != nil {
+			return nil, 0, fmt.Errorf("die %s: %w", profiles[i].Name(), d.Err)
+		}
+		rows[i] = batchSweepRow{
+			Die:             profiles[i].Name(),
+			ReusedFFs:       d.Result.ReusedFFs,
+			AdditionalCells: d.Result.AdditionalCells,
+			PrepareMS:       float64(d.PrepareDur) / float64(time.Millisecond),
+			SolveMS:         float64(d.SolveDur) / float64(time.Millisecond),
+		}
+	}
+	return rows, res.Elapsed, nil
+}
+
+// renderBatchSweep prints the per-die plan numbers and stage timings, with
+// totals and the pipeline wall clock (smaller than the stage-time sum when
+// prepare of die k+1 overlapped solve of die k).
+func renderBatchSweep(w io.Writer, rows []batchSweepRow, elapsed time.Duration) {
+	fmt.Fprintln(w, "Batch sweep — streaming engine, paper method, tight timing")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "die\treused FFs\tadded cells\tprepare ms\tsolve ms")
+	var reused, cells int
+	var prepMS, solveMS float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\n",
+			r.Die, r.ReusedFFs, r.AdditionalCells, r.PrepareMS, r.SolveMS)
+		reused += r.ReusedFFs
+		cells += r.AdditionalCells
+		prepMS += r.PrepareMS
+		solveMS += r.SolveMS
+	}
+	fmt.Fprintf(tw, "Total\t%d\t%d\t%.1f\t%.1f\n", reused, cells, prepMS, solveMS)
+	tw.Flush()
+	fmt.Fprintf(w, "pipeline wall clock: %v for %d dies (stage time %.1f ms)\n",
+		elapsed.Round(time.Millisecond), len(rows), prepMS+solveMS)
 }
 
 func parseWidths(widthList string) ([]int, error) {

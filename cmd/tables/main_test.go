@@ -20,20 +20,20 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRunTable2(t *testing.T) {
 	// Table II touches only the generator: fast and fully deterministic.
-	if err := run(io.Discard, 2, 0, false, false, false, 0, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunShortFlagDefaults(t *testing.T) {
-	if err := run(io.Discard, 2, 0, false, false, false, 0, "", "16,32,64", 1, "full", true, false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "", "16,32,64", 1, "full", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTAMSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, true, false, false, 0, "b11", "4,8", 1, "reduced", false, false); err != nil {
+	if err := run(&buf, 0, 0, true, false, false, 0, false, "b11", "4,8", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -50,7 +50,7 @@ func TestRunTAMSweep(t *testing.T) {
 // refined cells never exceed greedy cells.
 func TestRunRefineGap(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, false, false, true, 500*time.Millisecond, "b11", "16", 1, "reduced", false, true); err != nil {
+	if err := run(&buf, 0, 0, false, false, true, 500*time.Millisecond, false, "b11", "16", 1, "reduced", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []service.ExperimentReport
@@ -78,11 +78,61 @@ func TestRunRefineGap(t *testing.T) {
 	}
 }
 
+// TestRunBatchSweep pushes one family through the streaming batch engine
+// and pins the envelope plus the per-row invariants: every die solved,
+// plan numbers present, stage timings recorded.
+func TestRunBatchSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 0, false, false, false, 0, true, "b11", "16", 1, "reduced", false, true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []service.ExperimentReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not the service schema: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Experiment != "batch_sweep" {
+		t.Fatalf("unexpected envelope: %+v", reports)
+	}
+	raw, _ := json.Marshal(reports[0].Rows)
+	var rows []batchSweepRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want the 4 b11 dies", len(rows))
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Die, "b11/") {
+			t.Errorf("unexpected die %q", r.Die)
+		}
+		if r.ReusedFFs == 0 && r.AdditionalCells == 0 {
+			t.Errorf("%s: no plan numbers", r.Die)
+		}
+		if r.PrepareMS <= 0 || r.SolveMS <= 0 {
+			t.Errorf("%s: missing stage timings (%v, %v)", r.Die, r.PrepareMS, r.SolveMS)
+		}
+	}
+}
+
+// TestRunBatchSweepText checks the human-readable rendering.
+func TestRunBatchSweepText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 0, false, false, false, 0, true, "b11", "16", 1, "reduced", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Batch sweep", "b11/Die0", "Total", "pipeline wall clock", "[Batch sweep completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 // TestRunJSONGolden pins the -json envelope schema. Table II is pure
 // netlist statistics, so the bytes are deterministic across runs.
 func TestRunJSONGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 0, false, false, false, 0, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
+	if err := run(&buf, 2, 0, false, false, false, 0, false, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []service.ExperimentReport
@@ -112,19 +162,19 @@ func TestRunJSONGolden(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(io.Discard, 0, 0, false, false, false, 0, "", "16", 1, "full", false, false); err == nil {
+	if err := run(io.Discard, 0, 0, false, false, false, 0, false, "", "16", 1, "full", false, false); err == nil {
 		t.Error("no experiment selected must error")
 	}
-	if err := run(io.Discard, 2, 0, false, false, false, 0, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
 		t.Errorf("unknown circuit: %v", err)
 	}
-	if err := run(io.Discard, 2, 0, false, false, false, 0, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
 		t.Errorf("unknown budget: %v", err)
 	}
-	if err := run(io.Discard, 9, 0, false, false, false, 0, "", "16", 1, "full", false, false); err == nil {
+	if err := run(io.Discard, 9, 0, false, false, false, 0, false, "", "16", 1, "full", false, false); err == nil {
 		t.Error("unknown table number must error")
 	}
-	if err := run(io.Discard, 0, 0, true, false, false, 0, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
+	if err := run(io.Discard, 0, 0, true, false, false, 0, false, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
 		t.Errorf("bad widths: %v", err)
 	}
 }

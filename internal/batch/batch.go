@@ -1,0 +1,365 @@
+// Package batch is the streaming multi-die throughput engine: it
+// pipelines prepare → WCM → (optional) verify → schedule across many dies
+// with bounded memory, treating the whole sweep — not a single die — as
+// the unit of optimization.
+//
+// Architecture: two worker pools connected by a bounded channel. The
+// prepare pool generates/places/times dies; the solve pool minimizes,
+// optionally verifies, and (when a schedule is requested) grades and
+// enumerates wrapper designs for each die while it is still resident.
+// A token semaphore caps how many prepared dies exist at once — the
+// per-batch memory budget — so a 24-die sweep never holds 24 netlists:
+// a die is dropped as soon as its solve stage finishes, and the heap the
+// garbage collector has to walk stays proportional to MaxInFlight, not
+// to the sweep.
+//
+// Determinism: every die is an independent computation, so the plan for
+// die i is bit-identical to a serial wcm3d.Minimize call no matter how
+// stages interleave or how many workers run; results are collected by
+// index and the final schedule packs in spec order.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wcm3d"
+	"wcm3d/internal/experiments"
+	"wcm3d/internal/tam"
+)
+
+// Spec names one die of a batch.
+type Spec struct {
+	// Name labels the die in results and schedules; empty defaults to the
+	// profile name.
+	Name string
+	// Profile is the synthetic benchmark profile the default preparer
+	// generates from.
+	Profile wcm3d.Profile
+	// Seed is the generation/placement seed (the default preparer).
+	Seed int64
+}
+
+func (s Spec) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Profile.Name()
+}
+
+// Config tunes one batch run.
+type Config struct {
+	// Method and Mode select the per-die solver configuration, exactly as
+	// wcm3d.Minimize would run it.
+	Method wcm3d.Method
+	Mode   wcm3d.TimingMode
+
+	// Verify runs the independent plan checker on every die's plan.
+	Verify bool
+
+	// ScheduleWidth, when positive, adds the stack-scheduling stage: each
+	// die is graded with stuck-at ATPG and its Pareto wrapper designs are
+	// enumerated while the die is still in memory, and after the last die
+	// the designs are packed into one pre-bond stack schedule over a
+	// ScheduleWidth-wire TAM.
+	ScheduleWidth int
+	// Budget is the ATPG effort for the schedule stage; zero value means
+	// experiments.ReducedBudget(seed of each die).
+	Budget *wcm3d.ATPGBudget
+
+	// PrepareWorkers and SolveWorkers size the two stage pools; <= 0
+	// means GOMAXPROCS. On a single-core box the pools interleave on the
+	// scheduler; on a multi-core box prepare of die k+1 overlaps the WCM
+	// solve of die k.
+	PrepareWorkers int
+	SolveWorkers   int
+
+	// MaxInFlight caps how many dies are resident (being prepared,
+	// waiting, or being solved) at once — the batch memory budget.
+	// <= 0 means max(2, SolveWorkers).
+	MaxInFlight int
+
+	// Workers bounds the solver-internal worker count per die (the plan
+	// is bit-identical at every setting); 0 means the solver default.
+	Workers int
+
+	// Prepare overrides die preparation — the wcmd batch endpoint routes
+	// it through the service's prepared-die cache. nil uses the default:
+	// experiments.PrepareDieOpts, skipping fault-list enumeration unless
+	// the schedule stage needs it.
+	Prepare func(ctx context.Context, spec Spec) (*wcm3d.Die, error)
+
+	// KeepDies retains each prepared die in its DieResult instead of
+	// releasing it after solve (costs the memory the budget exists to
+	// bound; tests and small sweeps only).
+	KeepDies bool
+
+	// OnDie, when set, observes each die's result as it leaves the
+	// pipeline — solve completion or prepare failure, in completion
+	// order, not spec order. Used for progress reporting; must be safe
+	// to call from multiple workers.
+	OnDie func(DieResult)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.PrepareWorkers <= 0 {
+		cfg.PrepareWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SolveWorkers <= 0 {
+		cfg.SolveWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = cfg.SolveWorkers
+		if cfg.MaxInFlight < 2 {
+			cfg.MaxInFlight = 2
+		}
+	}
+	return cfg
+}
+
+// DieResult is one die's passage through the pipeline.
+type DieResult struct {
+	Spec  Spec
+	Index int
+	// Die is retained only under Config.KeepDies.
+	Die *wcm3d.Die
+	// Result is the wrapper plan, bit-identical to serial
+	// wcm3d.Minimize.
+	Result *wcm3d.MinimizeResult
+	// Verify is the independent checker's report (Config.Verify).
+	Verify *wcm3d.VerifyResult
+	// Patterns and Designs are the schedule stage's per-die outputs.
+	Patterns int
+	Designs  []wcm3d.WrapperDesign
+	// Err records a per-die failure; the rest of the batch continues.
+	Err error
+
+	PrepareDur time.Duration
+	SolveDur   time.Duration
+}
+
+// Result is a completed batch.
+type Result struct {
+	// Dies is index-aligned with the input specs.
+	Dies []DieResult
+	// Schedule is the packed stack schedule (ScheduleWidth > 0 and every
+	// die succeeded).
+	Schedule *wcm3d.TestSchedule
+	// Elapsed is the wall-clock of the whole pipeline.
+	Elapsed time.Duration
+}
+
+// Failed returns the indices of dies that did not complete.
+func (r *Result) Failed() []int {
+	var out []int
+	for i := range r.Dies {
+		if r.Dies[i].Err != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run streams the specs through the pipeline. Per-die failures are
+// recorded in the result and do not abort the batch; the returned error
+// is non-nil only when the context was cancelled (the result still
+// carries whatever completed).
+func Run(ctx context.Context, specs []Spec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res := &Result{Dies: make([]DieResult, len(specs))}
+	for i := range specs {
+		res.Dies[i].Spec = specs[i]
+		res.Dies[i].Index = i
+	}
+	if len(specs) == 0 {
+		return res, nil
+	}
+
+	prepare := cfg.Prepare
+	if prepare == nil {
+		po := experiments.PrepareOptions{SkipFaultLists: cfg.ScheduleWidth <= 0}
+		prepare = func(ctx context.Context, spec Spec) (*wcm3d.Die, error) {
+			return experiments.PrepareDieOpts(spec.Profile, spec.Seed, po)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// tokens is the memory budget: one held per resident die, acquired
+	// before prepare starts, released when solve drops the die. ready
+	// has one buffer slot per token, so a send can never block.
+	tokens := make(chan struct{}, cfg.MaxInFlight)
+	indices := make(chan int)
+	ready := make(chan int, cfg.MaxInFlight)
+	dies := make([]*wcm3d.Die, len(specs))
+
+	go func() {
+		defer close(indices)
+		for i := range specs {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var prepWG sync.WaitGroup
+	for w := 0; w < cfg.PrepareWorkers; w++ {
+		prepWG.Add(1)
+		go func() {
+			defer prepWG.Done()
+			for i := range indices {
+				select {
+				case tokens <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				r := &res.Dies[i]
+				t0 := time.Now()
+				d, err := prepare(ctx, specs[i])
+				r.PrepareDur = time.Since(t0)
+				if err != nil {
+					r.Err = fmt.Errorf("batch: preparing %s: %w", specs[i].name(), err)
+					if cfg.OnDie != nil {
+						cfg.OnDie(*r)
+					}
+					<-tokens
+					continue
+				}
+				dies[i] = d
+				ready <- i // never blocks: one buffer slot per token
+			}
+		}()
+	}
+	go func() {
+		prepWG.Wait()
+		close(ready)
+	}()
+
+	var solveWG sync.WaitGroup
+	for w := 0; w < cfg.SolveWorkers; w++ {
+		solveWG.Add(1)
+		go func() {
+			defer solveWG.Done()
+			for i := range ready {
+				r := &res.Dies[i]
+				if ctx.Err() != nil {
+					r.Err = ctx.Err()
+				} else {
+					t0 := time.Now()
+					solveOne(r, dies[i], cfg)
+					r.SolveDur = time.Since(t0)
+				}
+				if cfg.KeepDies {
+					r.Die = dies[i]
+				}
+				dies[i] = nil // release the die before the token
+				if cfg.OnDie != nil {
+					cfg.OnDie(*r)
+				}
+				<-tokens // OnDie first: the die's resident window ends at the callback
+			}
+		}()
+	}
+	solveWG.Wait()
+
+	if err := ctx.Err(); err != nil {
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
+
+	// Schedule stage: pack in spec order (deterministic) once every die's
+	// designs exist.
+	if cfg.ScheduleWidth > 0 && len(res.Failed()) == 0 {
+		specList := make([]tam.DieSpec, len(res.Dies))
+		for i := range res.Dies {
+			specList[i] = tam.DieSpec{Name: res.Dies[i].Spec.name(), Designs: res.Dies[i].Designs}
+		}
+		sched, err := tam.Pack(specList, cfg.ScheduleWidth)
+		if err != nil {
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("batch: packing schedule: %w", err)
+		}
+		res.Schedule = sched
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// solveOne runs the per-die tail of the pipeline: minimize, optional
+// verify, optional grade+enumerate for the schedule stage.
+func solveOne(r *DieResult, d *wcm3d.Die, cfg Config) {
+	min, err := minimize(d, cfg)
+	if err != nil {
+		r.Err = fmt.Errorf("batch: solving %s: %w", r.Spec.name(), err)
+		return
+	}
+	r.Result = min
+
+	if cfg.Verify {
+		vr, err := wcm3d.VerifyPlan(d, min, wcm3d.VerifyOptions{})
+		if err != nil {
+			r.Err = fmt.Errorf("batch: verifying %s: %w", r.Spec.name(), err)
+			return
+		}
+		r.Verify = vr
+		if !vr.OK() {
+			r.Err = fmt.Errorf("batch: %s: plan failed verification: %s", r.Spec.name(), vr.Summary())
+			return
+		}
+	}
+
+	if cfg.ScheduleWidth > 0 {
+		budget := experiments.ReducedBudget(r.Spec.Seed)
+		if cfg.Budget != nil {
+			budget = *cfg.Budget
+		}
+		tb, err := wcm3d.EvaluateStuckAt(d, min.Assignment, budget)
+		if err != nil {
+			r.Err = fmt.Errorf("batch: grading %s: %w", r.Spec.name(), err)
+			return
+		}
+		r.Patterns = tb.Patterns
+		designs, err := wcm3d.EnumerateWrapperDesigns(d, min.Assignment, r.Patterns, cfg.ScheduleWidth)
+		if err != nil {
+			r.Err = fmt.Errorf("batch: enumerating %s: %w", r.Spec.name(), err)
+			return
+		}
+		r.Designs = designs
+	}
+}
+
+// minimize is the exact serial path: wcm3d.Minimize, with the solver's
+// internal worker bound applied when requested.
+func minimize(d *wcm3d.Die, cfg Config) (*wcm3d.MinimizeResult, error) {
+	if cfg.Workers == 0 {
+		return wcm3d.Minimize(d, cfg.Method, cfg.Mode)
+	}
+	opts, err := optionsFor(d, cfg)
+	if err != nil {
+		return wcm3d.Minimize(d, cfg.Method, cfg.Mode)
+	}
+	opts.Workers = cfg.Workers
+	return wcm3d.MinimizeWith(d, opts)
+}
+
+// optionsFor resolves the wcm.Options wcm3d.Minimize would use, so the
+// worker-bounded run matches it exactly. Only the graph-based methods
+// take options; Li and full-wrap fall back to Minimize (they have no
+// internal parallelism).
+func optionsFor(d *wcm3d.Die, cfg Config) (wcm3d.MinimizeOptions, error) {
+	switch cfg.Method {
+	case wcm3d.MethodOurs:
+		return wcm3d.OurOptions(d, cfg.Mode), nil
+	case wcm3d.MethodAgrawal:
+		return wcm3d.AgrawalOptions(d, cfg.Mode), nil
+	default:
+		return wcm3d.MinimizeOptions{}, fmt.Errorf("batch: method %v has no options", cfg.Method)
+	}
+}

@@ -1,0 +1,324 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wcm3d"
+	"wcm3d/internal/batch"
+)
+
+// familySpecs builds batch specs for whole benchmark families at seed 1
+// (the Table II convention).
+func familySpecs(t testing.TB, names ...string) []batch.Spec {
+	t.Helper()
+	var specs []batch.Spec
+	for _, name := range names {
+		for _, p := range wcm3d.CircuitProfiles(name) {
+			specs = append(specs, batch.Spec{Profile: p, Seed: 1})
+		}
+	}
+	if len(specs) == 0 {
+		t.Fatal("no specs")
+	}
+	return specs
+}
+
+func tableIISpecs() []batch.Spec {
+	profiles := wcm3d.ITC99Profiles()
+	specs := make([]batch.Spec, len(profiles))
+	for i, p := range profiles {
+		specs[i] = batch.Spec{Profile: p, Seed: 1}
+	}
+	return specs
+}
+
+// serialSweep is the naive reference path the engine must match
+// bit-for-bit: prepare and minimize each die in order, one at a time.
+func serialSweep(t testing.TB, specs []batch.Spec, m wcm3d.Method, mode wcm3d.TimingMode) []*wcm3d.MinimizeResult {
+	t.Helper()
+	out := make([]*wcm3d.MinimizeResult, len(specs))
+	for i, spec := range specs {
+		d, err := wcm3d.PrepareDie(spec.Profile, spec.Seed)
+		if err != nil {
+			t.Fatalf("serial prepare %s: %v", spec.Profile.Name(), err)
+		}
+		res, err := wcm3d.Minimize(d, m, mode)
+		if err != nil {
+			t.Fatalf("serial minimize %s: %v", spec.Profile.Name(), err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// assertPlansEqual requires the engine's plan for one die to be
+// bit-identical to the serial reference: the assignment, every per-phase
+// statistic, and the headline counters.
+func assertPlansEqual(t *testing.T, name string, got, want *wcm3d.MinimizeResult) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: engine produced no result", name)
+	}
+	if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+		t.Errorf("%s: Assignment differs from serial path", name)
+	}
+	if !reflect.DeepEqual(got.Phases, want.Phases) {
+		t.Errorf("%s: PhaseStats differ:\n got %+v\nwant %+v", name, got.Phases, want.Phases)
+	}
+	if got.ReusedFFs != want.ReusedFFs || got.AdditionalCells != want.AdditionalCells {
+		t.Errorf("%s: totals (%d,%d) != serial (%d,%d)", name,
+			got.ReusedFFs, got.AdditionalCells, want.ReusedFFs, want.AdditionalCells)
+	}
+}
+
+// runEquivalence drives the engine over specs at several worker counts
+// and pins every die's plan to the serial reference. The worker count is
+// applied to every knob at once — both pipeline pools and the solver's
+// internal parallelism — which is the widest interleaving surface.
+func runEquivalence(t *testing.T, specs []batch.Spec) {
+	serial := serialSweep(t, specs, wcm3d.MethodOurs, wcm3d.TightTiming)
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			res, err := batch.Run(context.Background(), specs, batch.Config{
+				Method:         wcm3d.MethodOurs,
+				Mode:           wcm3d.TightTiming,
+				PrepareWorkers: workers,
+				SolveWorkers:   workers,
+				Workers:        workers,
+				MaxInFlight:    workers + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failed := res.Failed(); len(failed) != 0 {
+				t.Fatalf("failed dies %v: first err: %v", failed, res.Dies[failed[0]].Err)
+			}
+			for i := range specs {
+				assertPlansEqual(t, specs[i].Profile.Name(), res.Dies[i].Result, serial[i])
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSerialQuick pins the engine to the serial path on the
+// two small families (8 dies) at workers {1,2,8}. Always runs; the full
+// 24-die version is TestBatchMatchesSerialTableII below.
+func TestBatchMatchesSerialQuick(t *testing.T) {
+	runEquivalence(t, familySpecs(t, "b11", "b12"))
+}
+
+// TestBatchMatchesSerialTableII is the release gate: bit-identical plans
+// on all 24 Table II profiles at workers {1,2,8}. Minutes of work, so it
+// only runs when WCM3D_FULL_EQUIV=1 (CI's bench-smoke job sets it).
+func TestBatchMatchesSerialTableII(t *testing.T) {
+	if os.Getenv("WCM3D_FULL_EQUIV") == "" {
+		t.Skip("set WCM3D_FULL_EQUIV=1 to run the full 24-die equivalence sweep")
+	}
+	runEquivalence(t, tableIISpecs())
+}
+
+// TestBatchMemoryBudget proves MaxInFlight actually bounds residency:
+// a die is "resident" from the moment its prepare starts until its OnDie
+// callback, and the high-water mark never exceeds the budget.
+func TestBatchMemoryBudget(t *testing.T) {
+	specs := familySpecs(t, "b11", "b12")
+	const budget = 2
+	var active, peak int64
+	res, err := batch.Run(context.Background(), specs, batch.Config{
+		Method:         wcm3d.MethodOurs,
+		Mode:           wcm3d.TightTiming,
+		PrepareWorkers: 4,
+		SolveWorkers:   4,
+		MaxInFlight:    budget,
+		Prepare: func(ctx context.Context, spec batch.Spec) (*wcm3d.Die, error) {
+			n := atomic.AddInt64(&active, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			return wcm3d.PrepareDie(spec.Profile, spec.Seed)
+		},
+		OnDie: func(batch.DieResult) { atomic.AddInt64(&active, -1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := res.Failed(); len(failed) != 0 {
+		t.Fatalf("failed dies: %v", failed)
+	}
+	if p := atomic.LoadInt64(&peak); p > budget {
+		t.Fatalf("peak residency %d exceeds MaxInFlight %d", p, budget)
+	}
+	if a := atomic.LoadInt64(&active); a != 0 {
+		t.Fatalf("%d dies still resident after Run returned", a)
+	}
+}
+
+// TestBatchPerDieErrorDoesNotAbort: one die's prepare failure is recorded
+// in its slot and every other die still completes.
+func TestBatchPerDieErrorDoesNotAbort(t *testing.T) {
+	specs := familySpecs(t, "b11")
+	boom := errors.New("injected prepare failure")
+	res, err := batch.Run(context.Background(), specs, batch.Config{
+		Method: wcm3d.MethodOurs,
+		Mode:   wcm3d.TightTiming,
+		Prepare: func(ctx context.Context, spec batch.Spec) (*wcm3d.Die, error) {
+			if spec.Profile.Name() == specs[1].Profile.Name() {
+				return nil, boom
+			}
+			return wcm3d.PrepareDie(spec.Profile, spec.Seed)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.Failed()
+	if len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("Failed() = %v, want [1]", failed)
+	}
+	if !errors.Is(res.Dies[1].Err, boom) {
+		t.Fatalf("die 1 error = %v, want wrapped %v", res.Dies[1].Err, boom)
+	}
+	for i := range specs {
+		if i == 1 {
+			continue
+		}
+		if res.Dies[i].Err != nil || res.Dies[i].Result == nil {
+			t.Fatalf("die %d should have completed: err=%v", i, res.Dies[i].Err)
+		}
+	}
+}
+
+// TestBatchCancellation: a cancelled context stops the pipeline and Run
+// reports it; completed dies keep their results.
+func TestBatchCancellation(t *testing.T) {
+	specs := familySpecs(t, "b11", "b12")
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int64
+	_, err := batch.Run(ctx, specs, batch.Config{
+		Method: wcm3d.MethodOurs,
+		Mode:   wcm3d.TightTiming,
+		OnDie: func(batch.DieResult) {
+			if atomic.AddInt64(&done, 1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchVerifyStage: the optional checker runs per die and its report
+// lands in the result.
+func TestBatchVerifyStage(t *testing.T) {
+	specs := familySpecs(t, "b11")
+	res, err := batch.Run(context.Background(), specs, batch.Config{
+		Method: wcm3d.MethodOurs,
+		Mode:   wcm3d.TightTiming,
+		Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := res.Failed(); len(failed) != 0 {
+		t.Fatalf("failed dies %v: %v", failed, res.Dies[failed[0]].Err)
+	}
+	for i := range res.Dies {
+		vr := res.Dies[i].Verify
+		if vr == nil || !vr.OK() {
+			t.Fatalf("die %d: verify report missing or failing: %+v", i, vr)
+		}
+	}
+}
+
+// TestBatchScheduleMatchesFacade: the engine's schedule stage must
+// reproduce exactly what the serial facade path (PrepareDie → Minimize →
+// EvaluateStuckAt → Schedule) would build for the same stack.
+func TestBatchScheduleMatchesFacade(t *testing.T) {
+	specs := familySpecs(t, "b11")
+	const width = 16
+
+	// Serial facade reference.
+	stack := make([]wcm3d.StackDie, len(specs))
+	for i, spec := range specs {
+		d, err := wcm3d.PrepareDie(spec.Profile, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.TightTiming)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := wcm3d.EvaluateStuckAt(d, res.Assignment, wcm3d.ReducedBudget(spec.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack[i] = wcm3d.StackDie{
+			Name:       spec.Profile.Name(),
+			Die:        d,
+			Assignment: res.Assignment,
+			Patterns:   tb.Patterns,
+		}
+	}
+	want, err := wcm3d.Schedule(stack, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := batch.Run(context.Background(), specs, batch.Config{
+		Method:        wcm3d.MethodOurs,
+		Mode:          wcm3d.TightTiming,
+		ScheduleWidth: width,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := res.Failed(); len(failed) != 0 {
+		t.Fatalf("failed dies %v: %v", failed, res.Dies[failed[0]].Err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no schedule produced")
+	}
+	if !reflect.DeepEqual(res.Schedule, want) {
+		t.Fatalf("batch schedule differs from facade path:\n got %+v\nwant %+v", res.Schedule, want)
+	}
+}
+
+// TestBatchOnDieCompleteness: every die is observed exactly once.
+func TestBatchOnDieCompleteness(t *testing.T) {
+	specs := familySpecs(t, "b11", "b12")
+	var mu sync.Mutex
+	seen := map[int]int{}
+	res, err := batch.Run(context.Background(), specs, batch.Config{
+		Method:         wcm3d.MethodOurs,
+		Mode:           wcm3d.TightTiming,
+		PrepareWorkers: 3,
+		SolveWorkers:   3,
+		OnDie: func(r batch.DieResult) {
+			mu.Lock()
+			seen[r.Index]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := res.Failed(); len(failed) != 0 {
+		t.Fatalf("failed dies: %v", failed)
+	}
+	for i := range specs {
+		if seen[i] != 1 {
+			t.Fatalf("die %d observed %d times, want 1", i, seen[i])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package batch_test
+
+import (
+	"context"
+	"testing"
+
+	"wcm3d"
+	"wcm3d/internal/batch"
+)
+
+// BenchmarkBatchTableII is the headline throughput number of the batch
+// engine: the full 24-die Table II sweep (generate + place + time + WCM,
+// ours/tight), naive loop versus streaming engine. The naive sub-bench
+// is exactly what a caller without the engine writes — wcm3d.PrepareDie
+// then wcm3d.Minimize per die, each die's full working set allocated
+// fresh and left to the garbage collector. The engine sub-bench streams
+// the same sweep through internal/batch with a bounded residency budget,
+// lean minimize-only preparation, and the pooled cone/graph hot path.
+//
+// CI runs this at -benchtime=1x and publishes the output as the
+// batch-throughput artifact; results/batch_throughput.txt holds a
+// committed reference run.
+func BenchmarkBatchTableII(b *testing.B) {
+	specs := tableIISpecs()
+
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cells, reused := 0, 0
+			for _, spec := range specs {
+				d, err := wcm3d.PrepareDie(spec.Profile, spec.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := wcm3d.Minimize(d, wcm3d.MethodOurs, wcm3d.TightTiming)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells += res.AdditionalCells
+				reused += res.ReusedFFs
+			}
+			b.ReportMetric(float64(cells), "cells")
+			b.ReportMetric(float64(reused), "reused")
+		}
+	})
+
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := batch.Run(context.Background(), specs, batch.Config{
+				Method: wcm3d.MethodOurs,
+				Mode:   wcm3d.TightTiming,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if failed := res.Failed(); len(failed) != 0 {
+				b.Fatalf("failed dies %v: %v", failed, res.Dies[failed[0]].Err)
+			}
+			cells, reused := 0, 0
+			for _, dr := range res.Dies {
+				cells += dr.Result.AdditionalCells
+				reused += dr.Result.ReusedFFs
+			}
+			// Same metrics as the naive sub-bench: any divergence between
+			// the two rows is a correctness bug, not a perf difference.
+			b.ReportMetric(float64(cells), "cells")
+			b.ReportMetric(float64(reused), "reused")
+		}
+	})
+}

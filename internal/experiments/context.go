@@ -133,11 +133,27 @@ func (d *Die) projectPartial(partial *scan.Assignment) (*sta.Result, error) {
 // attaching a test mux over a long wire to a distant flip-flop eats more
 // than the margin and shows up as a timing violation in Table III.
 func PrepareDie(p netgen.Profile, seed int64) (*Die, error) {
+	return PrepareDieOpts(p, seed, PrepareOptions{})
+}
+
+// PrepareOptions trims optional die artefacts for callers that know which
+// downstream stages they will run.
+type PrepareOptions struct {
+	// SkipFaultLists leaves Die.StuckAt and Die.Transition nil. The fault
+	// universes are only consumed by the ATPG evaluators; a minimize-only
+	// sweep (the batch engine's default pipeline) never reads them, and
+	// enumerating ~100k collapsed faults per large die costs real time
+	// and heap.
+	SkipFaultLists bool
+}
+
+// PrepareDieOpts is PrepareDie with explicit preparation options.
+func PrepareDieOpts(p netgen.Profile, seed int64, po PrepareOptions) (*Die, error) {
 	n, err := netgen.Generate(p, seed)
 	if err != nil {
 		return nil, err
 	}
-	d, err := PrepareNetlist(n, seed)
+	d, err := PrepareNetlistOpts(n, seed, po)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +165,11 @@ func PrepareDie(p netgen.Profile, seed int64) (*Die, error) {
 // from a .bench file) the same way PrepareDie does for generated ones. The
 // returned Die carries a synthetic profile derived from the netlist.
 func PrepareNetlist(n *netlist.Netlist, seed int64) (*Die, error) {
+	return PrepareNetlistOpts(n, seed, PrepareOptions{})
+}
+
+// PrepareNetlistOpts is PrepareNetlist with explicit preparation options.
+func PrepareNetlistOpts(n *netlist.Netlist, seed int64, po PrepareOptions) (*Die, error) {
 	lib := cells.Default45nm()
 	pl, err := place.Place(n, place.Options{Seed: seed})
 	if err != nil {
@@ -204,21 +225,24 @@ func PrepareNetlist(n *netlist.Netlist, seed int64) (*Die, error) {
 		RequiredPS: fwTimed.RequiredPS[:n.NumGates()],
 	}
 	st := netlist.CollectStats(n)
-	return &Die{
+	d := &Die{
 		Profile: netgen.Profile{
 			Circuit: n.Name, ScanFFs: st.ScanFFs, Gates: st.LogicGates,
 			InboundTSVs: st.InboundTSVs, OutboundTSVs: st.OutboundTSVs,
 			PIs: st.PIs, POs: st.POs,
 		},
-		Netlist:    n,
-		Lib:        lib,
-		Placement:  pl,
-		ClockPS:    clock,
-		MarginPS:   margin,
-		Timing:     timing,
-		StuckAt:    faults.CollapsedList(n),
-		Transition: faults.TransitionList(n),
-	}, nil
+		Netlist:   n,
+		Lib:       lib,
+		Placement: pl,
+		ClockPS:   clock,
+		MarginPS:  margin,
+		Timing:    timing,
+	}
+	if !po.SkipFaultLists {
+		d.StuckAt = faults.CollapsedList(n)
+		d.Transition = faults.TransitionList(n)
+	}
+	return d, nil
 }
 
 // PrepareSuite prepares dies for all given profiles, in parallel (each die

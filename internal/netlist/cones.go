@@ -78,11 +78,18 @@ func (b *BitSet) IntersectCountExcluding(o, excl *BitSet) int {
 
 // AndNot returns a new set holding the members of b absent from excl.
 func (b *BitSet) AndNot(excl *BitSet) *BitSet {
-	out := &BitSet{words: make([]uint64, len(b.words)), n: b.n}
+	return b.AndNotInto(excl, &BitSet{words: make([]uint64, len(b.words)), n: b.n})
+}
+
+// AndNotInto writes the members of b absent from excl into dst (every
+// word of which is overwritten) and returns dst. dst must have the same
+// capacity as b; it is how pooled callers run the per-node cone masking
+// without allocating per pair.
+func (b *BitSet) AndNotInto(excl, dst *BitSet) *BitSet {
 	for i, w := range b.words {
-		out.words[i] = w &^ excl.words[i]
+		dst.words[i] = w &^ excl.words[i]
 	}
-	return out
+	return dst
 }
 
 // WordSpan returns the half-open 64-bit-word range [lo, hi) outside which
@@ -150,25 +157,29 @@ func (b *BitSet) Clone() *BitSet {
 // itself plus everything reachable backward through combinational gates,
 // stopping at (and including) sources and flip-flop outputs.
 func (n *Netlist) FaninCone(id SignalID) *BitSet {
-	cone, _ := n.faninCone(id, nil)
+	n.ensureDerived()
+	cone, _ := n.faninCone(id, nil, nil)
 	return cone
 }
 
-// faninCone is FaninCone with a caller-owned DFS stack: the traversal
-// appends into it and hands it back so batch builders (NewConeSet workers)
-// amortize one stack allocation across many cones.
-func (n *Netlist) faninCone(id SignalID, stack []SignalID) (*BitSet, []SignalID) {
-	cone := NewBitSet(len(n.Gates))
+// faninCone is FaninCone with a caller-owned DFS stack and an optional
+// arena: the traversal appends into the stack and hands it back so batch
+// builders (NewConeSet workers) amortize one stack allocation across many
+// cones, and the cone bitset draws from the arena's recycled storage when
+// one is supplied. The caller must have run ensureDerived already — the
+// walk reads the flat struct-of-arrays layout, not the Gate structs.
+func (n *Netlist) faninCone(id SignalID, stack []SignalID, a *Arena) (*BitSet, []SignalID) {
+	cone := a.NewBitSet(len(n.Gates))
 	stack = append(stack[:0], id)
 	cone.Set(id)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		g := &n.Gates[s]
-		if g.Type.IsSource() || (g.Type == GateDFF && s != id) {
+		t := n.gateType[s]
+		if t.IsSource() || (t == GateDFF && s != id) {
 			continue // stop at sequential/primary boundaries
 		}
-		for _, f := range g.Fanin {
+		for _, f := range n.faninFlat[n.faninOff[s]:n.faninOff[s+1]] {
 			if !cone.Has(f) {
 				cone.Set(f)
 				stack = append(stack, f)
@@ -184,23 +195,23 @@ func (n *Netlist) faninCone(id SignalID, stack []SignalID) (*BitSet, []SignalID)
 // included as the stopping point; its own fanout is not traversed.
 func (n *Netlist) FanoutCone(id SignalID) *BitSet {
 	n.ensureDerived()
-	cone, _ := n.fanoutCone(id, nil)
+	cone, _ := n.fanoutCone(id, nil, nil)
 	return cone
 }
 
-// fanoutCone is FanoutCone with a caller-owned DFS stack (see faninCone).
-// The caller must have run ensureDerived already.
-func (n *Netlist) fanoutCone(id SignalID, stack []SignalID) (*BitSet, []SignalID) {
-	cone := NewBitSet(len(n.Gates))
+// fanoutCone is FanoutCone with a caller-owned DFS stack and an optional
+// arena (see faninCone). The caller must have run ensureDerived already.
+func (n *Netlist) fanoutCone(id SignalID, stack []SignalID, a *Arena) (*BitSet, []SignalID) {
+	cone := a.NewBitSet(len(n.Gates))
 	stack = append(stack[:0], id)
 	cone.Set(id)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if n.Gates[s].Type == GateDFF && s != id {
+		if n.gateType[s] == GateDFF && s != id {
 			continue // captured by a flip-flop; stop
 		}
-		for _, fo := range n.fanouts[s] {
+		for _, fo := range n.fanoutFlat[n.fanoutOff[s]:n.fanoutOff[s+1]] {
 			if !cone.Has(fo) {
 				cone.Set(fo)
 				stack = append(stack, fo)
@@ -236,6 +247,15 @@ func NewConeSet(n *Netlist, signals []SignalID) *ConeSet {
 // reuses one DFS stack across all the cones it builds. The result is
 // identical for every worker count.
 func NewConeSetWorkers(n *Netlist, signals []SignalID, workers int) *ConeSet {
+	return NewConeSetArena(n, signals, workers, nil)
+}
+
+// NewConeSetArena is NewConeSetWorkers with the cone bitsets drawn from
+// an arena (nil for plain allocation). The cones live exactly as long as
+// the arena: callers that Release must not touch the ConeSet afterwards.
+// Cone contents are bit-identical to the unpooled build at every worker
+// count — the arena only changes where the words come from.
+func NewConeSetArena(n *Netlist, signals []SignalID, workers int, a *Arena) *ConeSet {
 	cs := &ConeSet{
 		netlist: n,
 		fanin:   make(map[SignalID]*BitSet, len(signals)),
@@ -248,13 +268,19 @@ func NewConeSetWorkers(n *Netlist, signals []SignalID, workers int) *ConeSet {
 	fi := make([]*BitSet, len(signals))
 	fo := make([]*BitSet, len(signals))
 	stacks := make([][]SignalID, w)
+	for i := range stacks {
+		stacks[i] = getStack()
+	}
 	par.Do(w, len(signals), func(worker, i int) {
 		s := signals[i]
 		stack := stacks[worker]
-		fi[i], stack = n.faninCone(s, stack)
-		fo[i], stack = n.fanoutCone(s, stack)
+		fi[i], stack = n.faninCone(s, stack, a)
+		fo[i], stack = n.fanoutCone(s, stack, a)
 		stacks[worker] = stack
 	})
+	for i := range stacks {
+		putStack(stacks[i])
+	}
 	for i, s := range signals {
 		cs.fanin[s] = fi[i]
 		cs.fanout[s] = fo[i]

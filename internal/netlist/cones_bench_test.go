@@ -27,8 +27,11 @@ func BenchmarkConeSet(b *testing.B) {
 		workers int
 	}{{"serial", 1}, {"parallel", 0}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			arena := netlist.NewArena()
 			for i := 0; i < b.N; i++ {
-				netlist.NewConeSetWorkers(n, signals, bc.workers)
+				netlist.NewConeSetArena(n, signals, bc.workers, arena)
+				arena.Release()
 			}
 		})
 	}

@@ -23,10 +23,23 @@ type Netlist struct {
 	byName map[string]SignalID
 
 	// Derived structures; (re)built lazily and invalidated by mutation.
-	fanouts   [][]SignalID
-	levelOrd  []SignalID
-	levelOf   []int32
-	derivedOK bool
+	//
+	// The hot traversal state is struct-of-arrays: gate types, fanin and
+	// fanout edges live in flat parallel slices (CSR layout: off[i] ..
+	// off[i+1] indexes into flat) so the cone DFS and the simulator walk
+	// contiguous memory instead of chasing a pointer per gate, and a
+	// rebuild costs a handful of allocations instead of one per signal.
+	// fanouts is kept as subslice views into fanoutFlat to preserve the
+	// [][]SignalID accessor API.
+	fanouts    [][]SignalID
+	gateType   []GateType
+	faninOff   []int32
+	faninFlat  []SignalID
+	fanoutOff  []int32
+	fanoutFlat []SignalID
+	levelOrd   []SignalID
+	levelOf    []int32
+	derivedOK  bool
 }
 
 // New returns an empty netlist with the given name.
@@ -284,12 +297,73 @@ func (n *Netlist) ensureDerived() {
 }
 
 func (n *Netlist) buildFanouts() {
-	n.fanouts = make([][]SignalID, len(n.Gates))
+	nGates := len(n.Gates)
+
+	// Pass 1: gate types and fanin CSR (also the total edge count).
+	n.gateType = resize(n.gateType, nGates)
+	n.faninOff = resize(n.faninOff, nGates+1)
+	edges := 0
+	for i := range n.Gates {
+		n.gateType[i] = n.Gates[i].Type
+		n.faninOff[i] = int32(edges)
+		edges += len(n.Gates[i].Fanin)
+	}
+	n.faninOff[nGates] = int32(edges)
+	// Flat edge arrays and the view slices are handed out to callers
+	// (Fanouts, FaninSpan, TopoOrder), so a rebuild must never write into
+	// storage an earlier caller may still hold — always fresh. Only the
+	// unexposed offset/type arrays reuse their backing storage.
+	n.faninFlat = make([]SignalID, edges)
+	pos := 0
+	for i := range n.Gates {
+		pos += copy(n.faninFlat[pos:], n.Gates[i].Fanin)
+	}
+
+	// Pass 2: fanout CSR is the fanin CSR transposed. Filling by ascending
+	// gate id keeps each fanout list sorted — the order the old per-signal
+	// append construction produced.
+	n.fanoutOff = resize(n.fanoutOff, nGates+1)
+	clear(n.fanoutOff)
+	for _, f := range n.faninFlat {
+		n.fanoutOff[f+1]++
+	}
+	for i := 0; i < nGates; i++ {
+		n.fanoutOff[i+1] += n.fanoutOff[i]
+	}
+	n.fanoutFlat = make([]SignalID, edges)
+	next := make([]int32, nGates)
+	copy(next, n.fanoutOff[:nGates])
 	for i := range n.Gates {
 		for _, f := range n.Gates[i].Fanin {
-			n.fanouts[f] = append(n.fanouts[f], SignalID(i))
+			n.fanoutFlat[next[f]] = SignalID(i)
+			next[f]++
 		}
 	}
+
+	// Keep the [][]SignalID view for existing callers: subslice windows
+	// into the flat array, full (three-index) so an append by a confused
+	// caller copies out instead of corrupting a neighbor's list.
+	n.fanouts = make([][]SignalID, nGates)
+	for i := 0; i < nGates; i++ {
+		lo, hi := n.fanoutOff[i], n.fanoutOff[i+1]
+		n.fanouts[i] = n.fanoutFlat[lo:hi:hi]
+	}
+}
+
+// resize returns s with length n, reusing the backing array when it fits.
+func resize[T GateType | SignalID | int32](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// FaninSpan returns the fanin list of a signal as a view into the flat
+// derived layout — same contents as Gate(id).Fanin without touching the
+// Gate struct. The view is valid until the next mutation; do not mutate.
+func (n *Netlist) FaninSpan(id SignalID) []SignalID {
+	n.ensureDerived()
+	return n.faninFlat[n.faninOff[id]:n.faninOff[id+1]:n.faninOff[id+1]]
 }
 
 // levelize computes a topological order over the combinational graph.
@@ -301,25 +375,25 @@ func (n *Netlist) levelize() {
 	pending := make([]int32, nGates) // unresolved fanin count
 	queue := make([]SignalID, 0, nGates)
 	for i := range n.Gates {
-		g := &n.Gates[i]
-		if g.Type.IsSource() || g.Type == GateDFF {
+		t := n.gateType[i]
+		if t.IsSource() || t == GateDFF {
 			queue = append(queue, SignalID(i))
 			continue
 		}
-		pending[i] = int32(len(g.Fanin))
+		pending[i] = n.faninOff[i+1] - n.faninOff[i]
 	}
 	for head := 0; head < len(queue); head++ {
 		id := queue[head]
 		n.levelOrd = append(n.levelOrd, id)
-		for _, fo := range n.fanouts[id] {
-			fg := &n.Gates[fo]
-			if fg.Type == GateDFF || fg.Type.IsSource() {
+		for _, fo := range n.fanoutFlat[n.fanoutOff[id]:n.fanoutOff[id+1]] {
+			ft := n.gateType[fo]
+			if ft == GateDFF || ft.IsSource() {
 				continue // D pin is a sink; sources have no fanin
 			}
 			pending[fo]--
 			if pending[fo] == 0 {
 				lvl := int32(0)
-				for _, f := range fg.Fanin {
+				for _, f := range n.faninFlat[n.faninOff[fo]:n.faninOff[fo+1]] {
 					if fl := n.levelOf[f] + 1; fl > lvl {
 						lvl = fl
 					}
@@ -373,6 +447,11 @@ func (n *Netlist) Validate() error {
 
 // Clone returns a deep copy. The DFT editor clones before mutating so that
 // candidate evaluations never damage the source netlist.
+//
+// All fanin lists share one flat backing array, carved into full
+// (len == cap) subslices: one allocation instead of one per gate, and an
+// AppendFanin on any cloned gate reallocates that gate's list instead of
+// overrunning its neighbor's.
 func (n *Netlist) Clone() *Netlist {
 	c := &Netlist{
 		Name:    n.Name,
@@ -380,9 +459,16 @@ func (n *Netlist) Clone() *Netlist {
 		Outputs: append([]Output(nil), n.Outputs...),
 		byName:  make(map[string]SignalID, len(n.byName)),
 	}
+	total := 0
+	for i := range n.Gates {
+		total += len(n.Gates[i].Fanin)
+	}
+	flat := make([]SignalID, 0, total)
 	for i := range n.Gates {
 		g := n.Gates[i]
-		g.Fanin = append([]SignalID(nil), g.Fanin...)
+		lo := len(flat)
+		flat = append(flat, g.Fanin...)
+		g.Fanin = flat[lo:len(flat):len(flat)]
 		c.Gates[i] = g
 		c.byName[g.Name] = SignalID(i)
 	}

@@ -1,0 +1,92 @@
+package netlist
+
+import (
+	"sync"
+
+	"wcm3d/internal/wordpool"
+)
+
+// Arena hands out BitSets whose word storage is recycled through the
+// global size-classed pools in internal/wordpool, and returns all of it
+// in one Release call. The WCM flow builds thousands of cone bitsets per
+// die whose lifetime ends with the phase that needed them; routing them
+// through an arena makes repeated die preparation (the batch sweep)
+// allocation-free in steady state instead of a GC storm.
+//
+// Usage contract:
+//   - NewBitSet may be called from any number of goroutines.
+//   - Release returns every word slice the arena ever handed out; no
+//     BitSet obtained from the arena may be used after Release. Release
+//     is idempotent.
+//   - A nil *Arena is valid and degrades to plain NewBitSet allocation
+//     (nothing pooled, Release is a no-op), so call sites can thread an
+//     optional arena without branching.
+type Arena struct {
+	mu   sync.Mutex
+	held [][]uint64
+	// BitSet headers are carved from slab blocks so a cone build costs
+	// one header allocation per hdrBlockSize cones instead of one each.
+	hdrs    []BitSet
+	hdrNext int
+}
+
+const hdrBlockSize = 2048
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// NewBitSet returns a zeroed set able to hold n signals, drawing word
+// storage from the recycling pools.
+func (a *Arena) NewBitSet(n int) *BitSet {
+	if a == nil {
+		return NewBitSet(n)
+	}
+	w := wordpool.Get((n + 63) / 64)
+	a.mu.Lock()
+	a.held = append(a.held, w)
+	if a.hdrNext == len(a.hdrs) {
+		a.hdrs = make([]BitSet, hdrBlockSize)
+		a.hdrNext = 0
+	}
+	b := &a.hdrs[a.hdrNext]
+	a.hdrNext++
+	a.mu.Unlock()
+	b.words, b.n = w, n
+	return b
+}
+
+// Release returns every word slice handed out since the last Release to
+// the global pools. All BitSets obtained from the arena become invalid.
+func (a *Arena) Release() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	held := a.held
+	a.held = nil
+	// Drop the header slab too: stale headers must not pin recycled word
+	// slices against the garbage collector.
+	a.hdrs = nil
+	a.hdrNext = 0
+	a.mu.Unlock()
+	for _, w := range held {
+		wordpool.Put(w)
+	}
+}
+
+// Held reports how many bitsets the arena currently tracks (test hook).
+func (a *Arena) Held() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.held)
+}
+
+// stackPool recycles the DFS scratch stacks the cone builders use; one
+// stack per worker per ConeSet build.
+var stackPool = sync.Pool{New: func() any { s := make([]SignalID, 0, 1024); return &s }}
+
+func getStack() []SignalID  { return *(stackPool.Get().(*[]SignalID)) }
+func putStack(s []SignalID) { s = s[:0]; stackPool.Put(&s) }

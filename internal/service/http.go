@@ -17,6 +17,10 @@ import (
 //	GET    /v1/jobs/{id} poll one job
 //	DELETE /v1/jobs/{id} cancel one job
 //	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 413, 429, 503)
+//	POST   /v1/batches   run a multi-die sweep through the batch engine (202, 400, 429, 500, 503)
+//	GET    /v1/batches   list retained batches
+//	GET    /v1/batches/{id} poll one batch's per-die progress
+//	DELETE /v1/batches/{id} cancel one batch
 //	GET    /v1/dies      list cached prepared dies
 //	GET    /healthz      liveness (503 once shutdown begins); cluster-aware
 //	GET    /metrics      expvar-style counters and latency histograms
@@ -36,6 +40,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches", s.handleBatches)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
 	mux.HandleFunc("GET /v1/dies", s.handleDies)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

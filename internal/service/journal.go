@@ -62,6 +62,9 @@ type RecoveredJob struct {
 // the log has already handed out (including compacted ones).
 type Recovery struct {
 	Jobs []RecoveredJob
+	// Batches holds batch sweeps reconstructed from the log (journals
+	// implementing BatchJournal; empty otherwise).
+	Batches []RecoveredBatch
 	// MaxSeq is the highest numeric job-id suffix the log has ever seen.
 	MaxSeq int
 	// Corrupted counts log segments that ended in a torn or corrupt
@@ -155,7 +158,8 @@ func (s *Service) Recover(rec Recovery) (requeued, restored int, err error) {
 	if len(feed) > 0 {
 		go s.feedRecovered(feed)
 	}
-	return requeued, restored, nil
+	brq, brs := s.recoverBatches(rec.Batches)
+	return requeued + brq, restored + brs, nil
 }
 
 // feedRecovered pushes recovered jobs into the bounded pool queue. The

@@ -41,6 +41,18 @@ type Metrics struct {
 	SchedulesFailed   atomic.Int64
 	SchedulesRejected atomic.Int64
 
+	// Batch counters: POST /v1/batches outcomes. BatchesActive is a gauge
+	// of batches currently streaming through the engine; Rejected counts
+	// submissions bounced by queue backpressure (HTTP 429). BatchDies is
+	// a histogram of per-batch die counts — its buckets are counts, not
+	// milliseconds — answering "how big are the sweeps people run".
+	BatchesActive   atomic.Int64
+	BatchesDone     atomic.Int64
+	BatchesFailed   atomic.Int64
+	BatchesCanceled atomic.Int64
+	BatchesRejected atomic.Int64
+	BatchDies       Histogram
+
 	// VerifyFailures counts jobs whose independent verification found
 	// violations — each one is an optimizer/verifier disagreement worth an
 	// operator's attention, even though the job itself still succeeds.
@@ -91,6 +103,7 @@ const (
 	StageVerify                // independent plan verification (verify=true)
 	StageTotal                 // whole job, submit-to-finish
 	StageSchedule              // whole stack scheduling run (/v1/schedules)
+	StageBatch                 // whole batch-engine run (/v1/batches)
 	numStages
 )
 
@@ -112,6 +125,8 @@ func (s Stage) String() string {
 		return "total"
 	case StageSchedule:
 		return "schedule"
+	case StageBatch:
+		return "batch"
 	default:
 		return "unknown"
 	}
@@ -149,6 +164,11 @@ type Histogram struct {
 	count  atomic.Int64
 	sumUS  atomic.Int64
 }
+
+// ObserveCount records a unitless count (a batch's die total) by mapping
+// it onto the bucket bounds one-for-one: a bucket's le_ms reads as
+// "batches with at most this many dies".
+func (h *Histogram) ObserveCount(n int) { h.Observe(time.Duration(n) * time.Millisecond) }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
@@ -244,6 +264,18 @@ type MetricsSnapshot struct {
 		Failed   int64 `json:"failed"`
 		Rejected int64 `json:"rejected"`
 	} `json:"schedules"`
+	Batches struct {
+		// Active is a gauge of batches currently streaming through the
+		// engine (the `batches.active` signal).
+		Active   int64 `json:"active"`
+		Done     int64 `json:"done"`
+		Failed   int64 `json:"failed"`
+		Canceled int64 `json:"canceled"`
+		Rejected int64 `json:"rejected"`
+		// Dies is the per-batch die-count histogram (`batch.dies`): bucket
+		// bounds are die counts, not milliseconds.
+		Dies HistogramSnapshot `json:"dies"`
+	} `json:"batches"`
 	Verify struct {
 		Failures int64 `json:"failures"`
 	} `json:"verify"`
@@ -270,6 +302,12 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Schedules.Done = m.SchedulesDone.Load()
 	s.Schedules.Failed = m.SchedulesFailed.Load()
 	s.Schedules.Rejected = m.SchedulesRejected.Load()
+	s.Batches.Active = m.BatchesActive.Load()
+	s.Batches.Done = m.BatchesDone.Load()
+	s.Batches.Failed = m.BatchesFailed.Load()
+	s.Batches.Canceled = m.BatchesCanceled.Load()
+	s.Batches.Rejected = m.BatchesRejected.Load()
+	s.Batches.Dies = m.BatchDies.snapshot()
 	s.Verify.Failures = m.VerifyFailures.Load()
 	s.Refine.Improved = m.RefineImproved.Load()
 	s.Refine.CellsSaved = m.RefineCellsSaved.Load()

@@ -195,10 +195,11 @@ type Service struct {
 	// before Handler, read without locking afterwards.
 	cluster ClusterView
 
-	mu     sync.Mutex
-	closed bool
-	seq    int
-	jobs   map[string]*job
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	jobs    map[string]*job
+	batches map[string]*batchRun
 }
 
 // New builds a Service and starts its worker pool and retention sweeper.
@@ -239,6 +240,7 @@ func New(cfg Config) *Service {
 		schedSem: make(chan struct{}, cfg.ScheduleConcurrency),
 		gcStop:   make(chan struct{}),
 		jobs:     make(map[string]*job),
+		batches:  make(map[string]*batchRun),
 	}
 	go s.gcLoop()
 	return s
@@ -518,6 +520,7 @@ func (s *Service) gcLoop() {
 // MaxFinished. Queued and running jobs are never touched. Callers hold
 // s.mu.
 func (s *Service) gcLocked(now time.Time) {
+	s.gcBatchesLocked(now)
 	cutoff := now.Add(-s.cfg.RetentionTTL)
 	finished := make([]*job, 0, len(s.jobs))
 	for id, j := range s.jobs {
@@ -582,6 +585,25 @@ func (s *Service) Shutdown(ctx context.Context) (DrainReport, error) {
 		}
 		if j.abandoned && !j.remoteOrigin {
 			rep.Abandoned = append(rep.Abandoned, j.id)
+		}
+	}
+	for _, b := range s.batches {
+		switch b.state {
+		case StateDone:
+			rep.Done++
+		case StateFailed:
+			rep.Failed++
+		case StateCanceled:
+			rep.Canceled++
+		case StateQueued, StateRunning:
+			// Same abandonment contract as jobs: no terminal record reaches
+			// the journal, so a configured WAL replays the batch on boot.
+			b.abandoned = true
+			s.finishBatchLocked(b, StateCanceled, context.Canceled)
+			rep.Canceled++
+		}
+		if b.abandoned {
+			rep.Abandoned = append(rep.Abandoned, b.id)
 		}
 	}
 	s.mu.Unlock()

@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"wcm3d/internal/service"
+)
+
+func findBatch(rec service.Recovery, id string) (service.RecoveredBatch, bool) {
+	for _, b := range rec.Batches {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return service.RecoveredBatch{}, false
+}
+
+// TestBatchRoundTripRecovery: batch lifecycles survive a reopen — a
+// finished batch replays with its terminal state, a pending one replays
+// for re-execution, and batch ids feed the shared sequence watermark.
+func TestBatchRoundTripRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openTest(t, dir, Options{})
+	if len(rec.Batches) != 0 {
+		t.Fatalf("fresh log should recover no batches, got %+v", rec.Batches)
+	}
+
+	breq := service.BatchRequest{Circuit: "b11", Seed: 1}
+	if err := l.SubmitBatch("b-000003", breq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FinishBatch("b-000003", service.StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitBatch("b-000007", service.BatchRequest{All: true, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// A job in the same log proves the two record families coexist.
+	if err := l.Submit("j-000004", reqFor("b11/0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec = openTest(t, dir, Options{})
+	if len(rec.Batches) != 2 || len(rec.Jobs) != 1 {
+		t.Fatalf("recovered %d batches / %d jobs, want 2 / 1", len(rec.Batches), len(rec.Jobs))
+	}
+	if rec.MaxSeq != 7 {
+		t.Fatalf("MaxSeq = %d, want 7 (batch ids feed the watermark)", rec.MaxSeq)
+	}
+	fin, ok := findBatch(rec, "b-000003")
+	if !ok || fin.State != service.StateDone || fin.Req.Circuit != "b11" {
+		t.Fatalf("finished batch = %+v, %v", fin, ok)
+	}
+	pend, ok := findBatch(rec, "b-000007")
+	if !ok || pend.State != "" || !pend.Req.All || pend.Req.Seed != 2 {
+		t.Fatalf("pending batch = %+v, %v", pend, ok)
+	}
+}
+
+// TestBatchCompactionRetention: a batch finished past the retention
+// horizon is compacted away on reopen; an unfinished one is kept forever.
+func TestBatchCompactionRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{Retention: time.Hour})
+	if err := l.SubmitBatch("b-000001", service.BatchRequest{Circuit: "b11"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FinishBatch("b-000001", service.StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitBatch("b-000002", service.BatchRequest{Circuit: "b12"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny retention horizon makes the finished batch stale immediately.
+	_, rec := openTest(t, dir, Options{Retention: time.Nanosecond})
+	if _, ok := findBatch(rec, "b-000001"); ok {
+		t.Fatal("finished batch survived compaction past retention")
+	}
+	pend, ok := findBatch(rec, "b-000002")
+	if !ok || pend.State != "" {
+		t.Fatalf("pending batch = %+v, %v (must never be compacted)", pend, ok)
+	}
+	if rec.MaxSeq != 2 {
+		t.Fatalf("MaxSeq = %d, want 2 (watermark survives compaction)", rec.MaxSeq)
+	}
+}

@@ -27,6 +27,42 @@ type jobState struct {
 	res      *service.Report
 }
 
+// batchState is the folded per-batch outcome of a replay.
+type batchState struct {
+	id       string
+	req      *service.BatchRequest
+	submitAt int64
+	finishAt int64
+	terminal string // "", done, failed, canceled
+	errMsg   string
+}
+
+// foldBatch applies one batch record to the per-batch state map with the
+// same idempotence rules as job folding.
+func foldBatch(batches map[string]*batchState, r record) {
+	if r.ID == "" {
+		return
+	}
+	bs := batches[r.ID]
+	if bs == nil {
+		bs = &batchState{id: r.ID}
+		batches[r.ID] = bs
+	}
+	switch r.T {
+	case typeBatchSubmit:
+		if bs.req == nil {
+			bs.req = r.BReq
+			bs.submitAt = r.At
+		}
+	case typeBatchFinish:
+		if bs.terminal == "" {
+			bs.terminal = r.State
+			bs.errMsg = r.Err
+			bs.finishAt = r.At
+		}
+	}
+}
+
 // fold applies one record to the per-job state map. Replay is idempotent
 // and order-tolerant per job: a terminal record wins over everything, a
 // duplicate submit (possible after an interrupted compaction left both the
@@ -117,19 +153,25 @@ func readSegment(path string, fn func(record)) (corrupt bool, err error) {
 // replayLocked folds every segment into per-job state. Corruption inside a
 // segment discards that segment's tail only; later segments are still
 // replayed (their records fold idempotently).
-func (l *Log) replayLocked() (map[string]*jobState, int, int, error) {
+func (l *Log) replayLocked() (map[string]*jobState, map[string]*batchState, int, int, error) {
 	segs, err := segments(l.dir)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, 0, 0, err
 	}
 	jobs := make(map[string]*jobState)
+	batches := make(map[string]*batchState)
 	maxSeq, corrupted := 0, 0
 	for _, n := range segs {
 		bad, err := readSegment(filepath.Join(l.dir, segName(n)), func(r record) {
-			fold(jobs, r, &maxSeq)
+			switch r.T {
+			case typeBatchSubmit, typeBatchFinish:
+				foldBatch(batches, r)
+			default:
+				fold(jobs, r, &maxSeq)
+			}
 		})
 		if err != nil {
-			return nil, 0, 0, fmt.Errorf("wal: segment %s: %w", segName(n), err)
+			return nil, nil, 0, 0, fmt.Errorf("wal: segment %s: %w", segName(n), err)
 		}
 		if bad {
 			corrupted++
@@ -140,13 +182,28 @@ func (l *Log) replayLocked() (map[string]*jobState, int, int, error) {
 			maxSeq = n
 		}
 	}
-	return jobs, maxSeq, corrupted, nil
+	for id := range batches {
+		if n := batchSeq(id); n > maxSeq {
+			maxSeq = n
+		}
+	}
+	return jobs, batches, maxSeq, corrupted, nil
 }
 
 // jobSeq mirrors the service's id numbering ("j-%06d") for watermarking.
 func jobSeq(id string) int {
 	var n int
 	if _, err := fmt.Sscanf(id, "j-%d", &n); err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// batchSeq mirrors batch id numbering ("b-%06d"); batches share the
+// service's sequence counter with jobs, so both feed one watermark.
+func batchSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "b-%d", &n); err != nil || n < 0 {
 		return -1
 	}
 	return n
@@ -170,7 +227,7 @@ func (l *Log) Compact() error {
 // the old records, or both old and new — and replay folds duplicates
 // idempotently.
 func (l *Log) compactLocked(now time.Time) (service.Recovery, error) {
-	jobs, maxSeq, corrupted, err := l.replayLocked()
+	jobs, batches, maxSeq, corrupted, err := l.replayLocked()
 	if err != nil {
 		return service.Recovery{}, err
 	}
@@ -199,6 +256,22 @@ func (l *Log) compactLocked(now time.Time) (service.Recovery, error) {
 		}
 		live = append(live, js)
 	}
+	bids := make([]string, 0, len(batches))
+	for id := range batches {
+		bids = append(bids, id)
+	}
+	sort.Strings(bids)
+	var liveBatches []*batchState
+	for _, id := range bids {
+		bs := batches[id]
+		if bs.req == nil {
+			continue // finish whose submit was lost to corruption
+		}
+		if bs.terminal != "" && bs.finishAt > 0 && bs.finishAt < cutoff {
+			continue // finished past retention: compacted away
+		}
+		liveBatches = append(liveBatches, bs)
+	}
 
 	// Rewrite live records into a fresh segment numbered after every
 	// existing one, then drop the old segments.
@@ -206,7 +279,7 @@ func (l *Log) compactLocked(now time.Time) (service.Recovery, error) {
 	if len(segs) > 0 {
 		next = segs[len(segs)-1] + 1
 	}
-	if err := l.writeCompacted(next, live, maxSeq); err != nil {
+	if err := l.writeCompacted(next, live, liveBatches, maxSeq); err != nil {
 		return service.Recovery{}, err
 	}
 	if l.f != nil {
@@ -237,12 +310,22 @@ func (l *Log) compactLocked(now time.Time) (service.Recovery, error) {
 		}
 		rec.Jobs = append(rec.Jobs, rj)
 	}
+	for _, bs := range liveBatches {
+		rec.Batches = append(rec.Batches, service.RecoveredBatch{
+			ID:          bs.id,
+			Req:         *bs.req,
+			State:       bs.terminal,
+			Err:         bs.errMsg,
+			SubmittedAt: nanoTime(bs.submitAt),
+			FinishedAt:  nanoTime(bs.finishAt),
+		})
+	}
 	return rec, nil
 }
 
 // writeCompacted writes the mark record and each live job's reconstructed
 // record chain into segment n, fsyncing before it returns.
-func (l *Log) writeCompacted(n int, live []*jobState, maxSeq int) error {
+func (l *Log) writeCompacted(n int, live []*jobState, liveBatches []*batchState, maxSeq int) error {
 	f, err := os.OpenFile(filepath.Join(l.dir, segName(n)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -275,6 +358,17 @@ func (l *Log) writeCompacted(n int, live []*jobState, maxSeq int) error {
 		if js.terminal != "" {
 			if err := write(record{T: typeFinish, ID: js.id, At: js.finishAt,
 				State: js.terminal, Err: js.errMsg, Res: js.res}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, bs := range liveBatches {
+		if err := write(record{T: typeBatchSubmit, ID: bs.id, At: bs.submitAt, BReq: bs.req}); err != nil {
+			return err
+		}
+		if bs.terminal != "" {
+			if err := write(record{T: typeBatchFinish, ID: bs.id, At: bs.finishAt,
+				State: bs.terminal, Err: bs.errMsg}); err != nil {
 				return err
 			}
 		}

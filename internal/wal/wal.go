@@ -34,6 +34,12 @@ const (
 	typeStart  = "start"
 	typeFinish = "finish"
 	typeCancel = "cancel"
+	// Batch sweeps (POST /v1/batches) journal as submit/finish pairs; a
+	// batch with a submit but no finish replays as pending and is re-run
+	// from scratch (the engine is idempotent, per-die progress is not
+	// journaled).
+	typeBatchSubmit = "bsubmit"
+	typeBatchFinish = "bfinish"
 	// typeMark carries the job-id sequence watermark across compactions,
 	// so a log whose every job was compacted away still prevents id reuse.
 	typeMark = "mark"
@@ -41,14 +47,15 @@ const (
 
 // record is the JSON payload of one frame.
 type record struct {
-	T     string              `json:"t"`
-	ID    string              `json:"id,omitempty"`
-	At    int64               `json:"at,omitempty"` // unix nanoseconds
-	Req   *service.JobRequest `json:"req,omitempty"`
-	State string              `json:"state,omitempty"`
-	Err   string              `json:"err,omitempty"`
-	Res   *service.Report     `json:"res,omitempty"`
-	Seq   int                 `json:"seq,omitempty"`
+	T     string                `json:"t"`
+	ID    string                `json:"id,omitempty"`
+	At    int64                 `json:"at,omitempty"` // unix nanoseconds
+	Req   *service.JobRequest   `json:"req,omitempty"`
+	BReq  *service.BatchRequest `json:"breq,omitempty"`
+	State string                `json:"state,omitempty"`
+	Err   string                `json:"err,omitempty"`
+	Res   *service.Report       `json:"res,omitempty"`
+	Seq   int                   `json:"seq,omitempty"`
 }
 
 // Options tunes a Log. The zero value gets defaults from Open.
@@ -233,4 +240,18 @@ func (l *Log) Cancel(id string) error {
 	return l.append(record{T: typeCancel, ID: id, At: time.Now().UnixNano()})
 }
 
-var _ service.Journal = (*Log)(nil)
+// SubmitBatch implements service.BatchJournal.
+func (l *Log) SubmitBatch(id string, req service.BatchRequest) error {
+	r := req
+	return l.append(record{T: typeBatchSubmit, ID: id, At: time.Now().UnixNano(), BReq: &r})
+}
+
+// FinishBatch implements service.BatchJournal.
+func (l *Log) FinishBatch(id string, state, errMsg string) error {
+	return l.append(record{T: typeBatchFinish, ID: id, At: time.Now().UnixNano(), State: state, Err: errMsg})
+}
+
+var (
+	_ service.Journal      = (*Log)(nil)
+	_ service.BatchJournal = (*Log)(nil)
+)

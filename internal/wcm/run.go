@@ -3,6 +3,7 @@ package wcm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"wcm3d/internal/netlist"
 	"wcm3d/internal/par"
@@ -36,11 +37,20 @@ func Run(in Input, opts Options) (*Result, error) {
 		available[ff] = true
 	}
 
+	// Every cone, source mask and masked-cone bitset a phase builds dies
+	// with the phase, so their word storage routes through one arena and
+	// returns to the global pools at phase end — repeated runs (the batch
+	// sweep) then recycle instead of reallocating. Nothing reachable from
+	// Result ever comes from the arena.
+	arena := netlist.NewArena()
+	defer arena.Release()
+
 	res := &Result{Assignment: &scan.Assignment{}, Options: opts}
 	phases := []bool{firstInbound, !firstInbound}
 	for pi, isInbound := range phases {
-		ph := &phaseRunner{in: in, opts: opts, inbound: isInbound, available: available}
+		ph := &phaseRunner{in: in, opts: opts, inbound: isInbound, available: available, arena: arena}
 		stats, err := ph.run(res.Assignment)
+		arena.Release() // phase 2 re-draws the words phase 1 returned
 		if err != nil {
 			return nil, err
 		}
@@ -76,6 +86,11 @@ type phaseRunner struct {
 	opts      Options
 	inbound   bool
 	available map[netlist.SignalID]bool
+	// arena supplies recycled word storage for every phase-lifetime
+	// bitset (cones, source mask, masked cones). May be nil (benchmarks
+	// drive phaseRunner directly): everything degrades to plain
+	// allocation.
+	arena *netlist.Arena
 
 	// per-run state
 	tsvSignals []netlist.SignalID // cone anchor per TSV item
@@ -100,6 +115,11 @@ type phaseRunner struct {
 
 func (ph *phaseRunner) run(asn *scan.Assignment) (PhaseStats, error) {
 	stats := PhaseStats{Inbound: ph.inbound}
+	defer func() {
+		if ph.graph != nil {
+			ph.graph.Release() // adjacency rows back to the word pools
+		}
+	}()
 	_, excluded, err := ph.buildGraph(&stats)
 	if err != nil {
 		return stats, err
@@ -197,8 +217,8 @@ func (ph *phaseRunner) buildGraph(stats *PhaseStats) (items, excluded []int, err
 			}
 		}
 	}
-	ph.cones = netlist.NewConeSetWorkers(n, coneSignals, ph.opts.Workers)
-	ph.sourceMask = netlist.NewBitSet(n.NumGates())
+	ph.cones = netlist.NewConeSetArena(n, coneSignals, ph.opts.Workers, ph.arena)
+	ph.sourceMask = ph.arena.NewBitSet(n.NumGates())
 	for i := range n.Gates {
 		id := netlist.SignalID(i)
 		if n.TypeOf(id).IsSource() || n.TypeOf(id) == netlist.GateDFF {
@@ -251,7 +271,7 @@ func (ph *phaseRunner) buildGraph(stats *PhaseStats) (items, excluded []int, err
 		ph.nodeAnchor[id] = ph.anchor(id)
 	}
 	par.Do(ph.opts.Workers, nNodes, func(_, id int) {
-		m := ph.nodeCone[id].AndNot(ph.sourceMask)
+		m := ph.nodeCone[id].AndNotInto(ph.sourceMask, ph.arena.NewBitSet(n.NumGates()))
 		lo, hi := m.WordSpan()
 		ph.nodeMasked[id] = m
 		ph.nodeLo[id], ph.nodeHi[id] = int32(lo), int32(hi)
@@ -260,7 +280,8 @@ func (ph *phaseRunner) buildGraph(stats *PhaseStats) (items, excluded []int, err
 	for i := 0; i < len(items); i++ {
 		offs[i+1] = offs[i] + (len(items) - 1 - i) + len(ffNode)
 	}
-	verdicts := make([]uint8, offs[len(items)])
+	verdicts := getVerdicts(offs[len(items)])
+	defer putVerdicts(verdicts)
 	par.Do(ph.opts.Workers, len(items), func(_, i int) {
 		k := offs[i]
 		for j := i + 1; j < len(items); j++ {
@@ -386,6 +407,26 @@ const (
 	edgeClean
 	edgeOverlap
 )
+
+// verdictPool recycles the O(items × nodes) verdict buffer across phases
+// and runs — at a few MB per large die it is the single biggest transient
+// allocation outside the bitsets.
+var verdictPool sync.Pool
+
+// getVerdicts returns an uninitialized buffer: the parallel sweep writes
+// every slot before the serial replay reads any, so no zeroing pass is
+// needed.
+func getVerdicts(n int) []uint8 {
+	if v, _ := verdictPool.Get().(*[]uint8); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]uint8, n)
+}
+
+func putVerdicts(v []uint8) {
+	v = v[:0]
+	verdictPool.Put(&v)
+}
 
 // edgeVerdict evaluates one pair for the parallel sweep.
 func (ph *phaseRunner) edgeVerdict(a, b int) uint8 {

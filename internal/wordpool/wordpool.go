@@ -1,0 +1,68 @@
+// Package wordpool recycles []uint64 bitset word storage through global
+// size-classed sync.Pools. The WCM hot path allocates thousands of cone
+// bitsets per die (fanin/fanout cones, masked node cones, adjacency rows)
+// whose lifetime ends with the phase that built them; returning the word
+// slices here instead of dropping them on the garbage collector is what
+// makes repeated die preparation — the batch sweep — allocation-free in
+// steady state.
+//
+// Slices are grouped in power-of-two capacity classes so a request is
+// served by the smallest class that fits. Get zeroes the words it hands
+// out; Put accepts slices in any state. Both are safe for concurrent use.
+package wordpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// numClasses covers capacities up to 2^31 words (16 GiB of bitset) — far
+// beyond any die this repo generates; larger requests bypass the pool.
+const numClasses = 32
+
+var classes [numClasses]sync.Pool
+
+// classFor returns the pool class whose capacity (1<<class) is the
+// smallest fitting n words, or -1 when n is out of pool range.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a zeroed word slice of length n, recycled when possible.
+func Get(n int) []uint64 {
+	c := classFor(n)
+	if c < 0 {
+		return make([]uint64, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		w := *(v.(*[]uint64))
+		w = w[:n]
+		clear(w)
+		return w
+	}
+	return make([]uint64, n, 1<<c)
+}
+
+// Put returns a slice obtained from Get to its size class. The caller
+// must not retain any reference to w afterwards. Nil and foreign slices
+// (capacity not a pool class) are dropped silently, so Put is safe on
+// slices that happened to come from plain make.
+func Put(w []uint64) {
+	c := cap(w)
+	if c == 0 || c&(c-1) != 0 {
+		return // not a pool-class capacity
+	}
+	cl := bits.Len(uint(c)) - 1 // exact log2
+	if cl >= numClasses {
+		return
+	}
+	w = w[:0]
+	classes[cl].Put(&w)
+}

@@ -1,0 +1,79 @@
+package wordpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetReturnsZeroedWords(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096} {
+		w := Get(n)
+		if len(w) != n {
+			t.Fatalf("Get(%d): len %d", n, len(w))
+		}
+		for i := range w {
+			w[i] = ^uint64(0)
+		}
+		Put(w)
+		// The recycled slice must come back clean no matter what the
+		// previous user left in it.
+		w2 := Get(n)
+		if len(w2) != n {
+			t.Fatalf("Get(%d) after Put: len %d", n, len(w2))
+		}
+		for i, v := range w2 {
+			if v != 0 {
+				t.Fatalf("Get(%d) word %d carries stale bits %#x", n, i, v)
+			}
+		}
+		Put(w2)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {64, 6}, {65, 7},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestPutForeignSliceIsDropped(t *testing.T) {
+	// A slice with a non-power-of-two capacity must not poison a class.
+	Put(make([]uint64, 3, 3))
+	Put(nil)
+	w := Get(3)
+	if len(w) != 3 || cap(w) != 4 {
+		t.Fatalf("Get(3) after foreign Put: len %d cap %d", len(w), cap(w))
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	// Exercised under -race in CI: concurrent recycling must never hand
+	// the same slice to two holders at once. Each goroutine stamps its id
+	// over the whole slice and verifies the stamp before returning it.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w := Get(512)
+				for j := range w {
+					w[j] = id
+				}
+				for j := range w {
+					if w[j] != id {
+						t.Errorf("slice shared between goroutines: got %d want %d", w[j], id)
+						return
+					}
+				}
+				Put(w)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}
