@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wcm3d"
+)
+
+func TestFaultListParsing(t *testing.T) {
+	var fl faultList
+	for _, s := range []string{"stuck0:tin0", "bridge:tin1+tin2", "crosstalk:tin3+tout0"} {
+		if err := fl.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if len(fl) != 3 {
+		t.Fatalf("parsed %d faults, want 3", len(fl))
+	}
+	if fl[0] != (wcm3d.TSVFault{Kind: wcm3d.TSVStuck0, TSV: "tin0"}) {
+		t.Errorf("fault 0 = %+v", fl[0])
+	}
+	if fl[1].With != "tin2" || fl[1].Kind != wcm3d.TSVBridge {
+		t.Errorf("fault 1 = %+v", fl[1])
+	}
+	for _, bad := range []string{"stuck0", "warp:tin0", ""} {
+		if err := fl.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunDifferential drives the CLI's core on a real die: two sequential
+// faults, each replanned incrementally and certified against the
+// from-scratch rerun and the verifier (ok == true means every step held).
+func TestRunDifferential(t *testing.T) {
+	var buf bytes.Buffer
+	faults := faultList{
+		{Kind: wcm3d.TSVStuck0, TSV: "b11_0_tsv0"},
+	}
+	// Resolve a real victim name by preparing the same die the run will use.
+	p, err := wcm3d.ProfileByName("b11/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := wcm3d.PrepareDieWithSpares(p, 1, wcm3d.SpareSpec{Inbound: 2, Outbound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := d.Netlist.InboundTSVs()
+	faults[0].TSV = d.Netlist.NameOf(ins[0])
+	faults = append(faults, wcm3d.TSVFault{Kind: wcm3d.TSVOpen, TSV: d.Netlist.NameOf(ins[1])})
+
+	ok, err := run(&buf, "b11/0", "", "tight", 1, wcm3d.SpareSpec{Inbound: 2, Outbound: 1}, faults, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("differential contract broken:\n%s", buf.String())
+	}
+	var steps []stepReport
+	if err := json.Unmarshal(buf.Bytes(), &steps); err != nil {
+		t.Fatalf("-json output: %v", err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(steps))
+	}
+	for _, s := range steps {
+		if !s.Equal || !s.Verified || len(s.Repairs) != 1 {
+			t.Errorf("step %s = %+v", s.Fault, s)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	spec := wcm3d.SpareSpec{Inbound: 1, Outbound: 1}
+	if _, err := run(&buf, "b11/0", "", "tight", 1, spec, nil, false); err == nil || !strings.Contains(err.Error(), "-fault") {
+		t.Errorf("no faults: %v", err)
+	}
+	f := faultList{{Kind: wcm3d.TSVStuck0, TSV: "x"}}
+	if _, err := run(&buf, "b11/0", "die.bench", "tight", 1, spec, f, false); err == nil {
+		t.Error("profile+netlist accepted")
+	}
+	if _, err := run(&buf, "", "", "tight", 1, spec, f, false); err == nil {
+		t.Error("neither profile nor netlist accepted")
+	}
+	if _, err := run(&buf, "b11/0", "", "warp", 1, spec, f, false); err == nil {
+		t.Error("bad timing accepted")
+	}
+	if _, err := run(&buf, "b99/9", "", "tight", 1, spec, f, false); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := run(&buf, "b11/0", "", "tight", 1, spec, f, false); err == nil {
+		t.Error("unknown TSV accepted")
+	}
+}

@@ -12,6 +12,7 @@
 //	tables -tam -widths 16,32,64     # stack test time vs total TAM wires
 //	tables -refine -refine-budget 5s # greedy vs solver portfolio, all 24 dies
 //	tables -batch                    # 24-die sweep through the batch engine
+//	tables -replan                   # TSV-failure replan vs rerun, all 24 dies
 //	tables -table 2 -json            # machine-readable rows
 //
 // With -json the output is an array of experiment reports in the shared
@@ -41,6 +42,7 @@ import (
 	"wcm3d/internal/experiments"
 	"wcm3d/internal/netgen"
 	"wcm3d/internal/service"
+	"wcm3d/internal/tsvrepair"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func main() {
 		refineGap    = flag.Bool("refine", false, "regenerate the refinement gap table (greedy vs solver portfolio; not part of -all)")
 		refineBudget = flag.Duration("refine-budget", 2*time.Second, "per-die wall budget for -refine")
 		batchSweep   = flag.Bool("batch", false, "run the Table II die set through the streaming batch engine (internal/batch; not part of -all)")
+		replanSweep  = flag.Bool("replan", false, "time a single-TSV-failure incremental replan against a from-scratch rerun on the Table II die set (internal/tsvrepair; not part of -all)")
 		circuits     = flag.String("circuits", "", "comma-separated circuit families (default: the paper's set for each experiment)")
 		widths       = flag.String("widths", "16,32,64", `comma-separated total TAM wire budgets for -tam`)
 		seed         = flag.Int64("seed", 1, "generation seed")
@@ -68,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
-	runErr := run(os.Stdout, *table, *figure, *tam, *all, *refineGap, *refineBudget, *batchSweep, *circuits, *widths, *seed, *budget, *short, *asJSON)
+	runErr := run(os.Stdout, *table, *figure, *tam, *all, *refineGap, *refineBudget, *batchSweep, *replanSweep, *circuits, *widths, *seed, *budget, *short, *asJSON)
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -115,7 +118,7 @@ func startProfiles(cpuprofile, memprofile string) (stop func() error, err error)
 	}, nil
 }
 
-func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget time.Duration, batchSweep bool, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
+func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget time.Duration, batchSweep, replanSweep bool, circuits, widthList string, seed int64, budgetName string, short, asJSON bool) error {
 	if short {
 		budgetName = "reduced"
 		if circuits == "" {
@@ -163,8 +166,8 @@ func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget 
 		}
 		return table == n
 	}
-	if !all && !tam && !refineGap && !batchSweep && table == 0 && figure == 0 {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, -tam, -refine, or -batch")
+	if !all && !tam && !refineGap && !batchSweep && !replanSweep && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 7, -tam, -refine, -batch, or -replan")
 	}
 	ran := false
 
@@ -370,6 +373,23 @@ func run(w io.Writer, table, figure int, tam, all, refineGap bool, refineBudget 
 			return err
 		}
 	}
+	if replanSweep {
+		ran = true
+		profiles, err := profilesFor(allCircuits)
+		if err != nil {
+			return err
+		}
+		if err := timed("Replan speedup", func() error {
+			rows, err := replanSweepRows(profiles, seed)
+			if err != nil {
+				return err
+			}
+			emit("replan_speedup", rows, func(w io.Writer) { renderReplanSweep(w, rows) })
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("no experiment matches -table %d / -figure %d", table, figure)
 	}
@@ -444,6 +464,46 @@ func renderBatchSweep(w io.Writer, rows []batchSweepRow, elapsed time.Duration) 
 	tw.Flush()
 	fmt.Fprintf(w, "pipeline wall clock: %v for %d dies (stage time %.1f ms)\n",
 		elapsed.Round(time.Millisecond), len(rows), prepMS+solveMS)
+}
+
+// replanSweepRows times a single-TSV-failure replan against a from-scratch
+// rerun on every profile: each die is prepared once with two spare sites
+// per side, then tsvrepair.MeasureSpeedup runs three cold trials under the
+// paper's method and tight timing. See results/replan_speedup.txt and
+// docs/REPLAN.md.
+func replanSweepRows(profiles []netgen.Profile, seed int64) ([]tsvrepair.SpeedupRow, error) {
+	const trials = 3
+	rows := make([]tsvrepair.SpeedupRow, 0, len(profiles))
+	for _, p := range profiles {
+		d, err := tsvrepair.PrepareWithSpares(p, seed, tsvrepair.SpareSpec{Inbound: 2, Outbound: 2})
+		if err != nil {
+			return nil, fmt.Errorf("die %s: %w", p.Name(), err)
+		}
+		opts := experiments.OurOptions(d, experiments.Scenario{Name: "tight", Tight: true})
+		row, err := tsvrepair.MeasureSpeedup(d, opts, trials)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// renderReplanSweep prints the per-die timings with the differential
+// columns (equal = incremental plan deep-equal to the rerun, verified =
+// the plan passed the independent checker) and the median-ratio headline
+// the replan-equivalence CI job asserts on.
+func renderReplanSweep(w io.Writer, rows []tsvrepair.SpeedupRow) {
+	fmt.Fprintln(w, "Replan speedup — one stuck-at TSV failure, incremental replan vs from-scratch rerun")
+	fmt.Fprintln(w, "(medians over 3 cold trials per die; paper method, tight timing, 2+2 spare sites)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "die\treplan ms\trerun ms\tspeedup\tequal\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.2fx\t%v\t%v\n",
+			r.Die, r.ReplanMS, r.RerunMS, r.Ratio, r.Equal, r.Verified)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "median speedup: %.2fx over %d dies\n", tsvrepair.MedianRatio(rows), len(rows))
 }
 
 func parseWidths(widthList string) ([]int, error) {

@@ -14,26 +14,27 @@ import (
 
 	"wcm3d/internal/experiments"
 	"wcm3d/internal/service"
+	"wcm3d/internal/tsvrepair"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRunTable2(t *testing.T) {
 	// Table II touches only the generator: fast and fully deterministic.
-	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, false, "b11", "16,32,64", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunShortFlagDefaults(t *testing.T) {
-	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "", "16,32,64", 1, "full", true, false); err != nil {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, false, "", "16,32,64", 1, "full", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTAMSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, true, false, false, 0, false, "b11", "4,8", 1, "reduced", false, false); err != nil {
+	if err := run(&buf, 0, 0, true, false, false, 0, false, false, "b11", "4,8", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -50,7 +51,7 @@ func TestRunTAMSweep(t *testing.T) {
 // refined cells never exceed greedy cells.
 func TestRunRefineGap(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, false, false, true, 500*time.Millisecond, false, "b11", "16", 1, "reduced", false, true); err != nil {
+	if err := run(&buf, 0, 0, false, false, true, 500*time.Millisecond, false, false, "b11", "16", 1, "reduced", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []service.ExperimentReport
@@ -83,7 +84,7 @@ func TestRunRefineGap(t *testing.T) {
 // plan numbers present, stage timings recorded.
 func TestRunBatchSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, false, false, false, 0, true, "b11", "16", 1, "reduced", false, true); err != nil {
+	if err := run(&buf, 0, 0, false, false, false, 0, true, false, "b11", "16", 1, "reduced", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []service.ExperimentReport
@@ -117,7 +118,7 @@ func TestRunBatchSweep(t *testing.T) {
 // TestRunBatchSweepText checks the human-readable rendering.
 func TestRunBatchSweepText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, false, false, false, 0, true, "b11", "16", 1, "reduced", false, false); err != nil {
+	if err := run(&buf, 0, 0, false, false, false, 0, true, false, "b11", "16", 1, "reduced", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -128,11 +129,44 @@ func TestRunBatchSweepText(t *testing.T) {
 	}
 }
 
+// TestRunReplanSweep runs the replan-speedup experiment on the smallest
+// family and holds it to the differential contract columns: every row
+// equal and verified, every ratio positive.
+func TestRunReplanSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 0, false, false, false, 0, false, true, "b11", "16", 1, "reduced", false, true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []service.ExperimentReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not the service schema: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Experiment != "replan_speedup" {
+		t.Fatalf("unexpected envelope: %+v", reports)
+	}
+	raw, _ := json.Marshal(reports[0].Rows)
+	var rows []tsvrepair.SpeedupRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want the 4 b11 dies", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equal || !r.Verified {
+			t.Errorf("%s: differential contract broken: %+v", r.Die, r)
+		}
+		if r.Ratio <= 0 || r.ReplanMS <= 0 || r.RerunMS <= 0 {
+			t.Errorf("%s: implausible timings: %+v", r.Die, r)
+		}
+	}
+}
+
 // TestRunJSONGolden pins the -json envelope schema. Table II is pure
 // netlist statistics, so the bytes are deterministic across runs.
 func TestRunJSONGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 0, false, false, false, 0, false, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
+	if err := run(&buf, 2, 0, false, false, false, 0, false, false, "b11", "16,32,64", 1, "reduced", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []service.ExperimentReport
@@ -162,19 +196,19 @@ func TestRunJSONGolden(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(io.Discard, 0, 0, false, false, false, 0, false, "", "16", 1, "full", false, false); err == nil {
+	if err := run(io.Discard, 0, 0, false, false, false, 0, false, false, "", "16", 1, "full", false, false); err == nil {
 		t.Error("no experiment selected must error")
 	}
-	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, false, "b99", "16", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "unknown circuit") {
 		t.Errorf("unknown circuit: %v", err)
 	}
-	if err := run(io.Discard, 2, 0, false, false, false, 0, false, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
+	if err := run(io.Discard, 2, 0, false, false, false, 0, false, false, "", "16", 1, "warp", false, false); err == nil || !strings.Contains(err.Error(), "unknown budget") {
 		t.Errorf("unknown budget: %v", err)
 	}
-	if err := run(io.Discard, 9, 0, false, false, false, 0, false, "", "16", 1, "full", false, false); err == nil {
+	if err := run(io.Discard, 9, 0, false, false, false, 0, false, false, "", "16", 1, "full", false, false); err == nil {
 		t.Error("unknown table number must error")
 	}
-	if err := run(io.Discard, 0, 0, true, false, false, 0, false, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
+	if err := run(io.Discard, 0, 0, true, false, false, 0, false, false, "b11", "4,x", 1, "full", false, false); err == nil || !strings.Contains(err.Error(), "bad TAM width") {
 		t.Errorf("bad widths: %v", err)
 	}
 }

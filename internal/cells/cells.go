@@ -37,6 +37,15 @@ type Library struct {
 	// ByType maps each gate type to its parameters.
 	ByType map[netlist.GateType]Params
 
+	// dense mirrors ByType as a direct-indexed table so Of costs an array
+	// load instead of a map probe — it sits on the inner edge loops of the
+	// timing analyzer. Built by Seal; a library that was never sealed (or
+	// whose ByType was mutated after sealing without re-Sealing) falls back
+	// to the map.
+	dense  []Params
+	known  []bool
+	sealed bool
+
 	// WireCapPerUM is interconnect capacitance in fF per µm of Manhattan
 	// length.
 	WireCapPerUM float64
@@ -70,7 +79,7 @@ type Library struct {
 
 // Default45nm returns the library used throughout the reproduction.
 func Default45nm() *Library {
-	return &Library{
+	l := &Library{
 		Name: "generic45",
 		ByType: map[netlist.GateType]Params{
 			netlist.GateInput:  {InputCapFF: 0, DriveResKOhm: 1.0, IntrinsicPS: 0},
@@ -96,15 +105,45 @@ func Default45nm() *Library {
 		WrapperCellAreaUM2: 15.0,
 		ScanMuxAreaUM2:     2.2,
 	}
+	l.Seal()
+	return l
+}
+
+// defaultParams are the conservative fallback for gate types the library
+// does not characterize: the library is consulted deep inside timing
+// loops, so unknown types degrade instead of panicking.
+var defaultParams = Params{InputCapFF: 1.5, DriveResKOhm: 2.0, IntrinsicPS: 30}
+
+// Seal builds the direct-indexed lookup table from ByType. Call it once
+// after constructing or editing a library; Of reads the table without
+// consulting the map afterwards.
+func (l *Library) Seal() {
+	max := 0
+	for t := range l.ByType {
+		if int(t) > max {
+			max = int(t)
+		}
+	}
+	l.dense = make([]Params, max+1)
+	l.known = make([]bool, max+1)
+	for t, p := range l.ByType {
+		l.dense[t] = p
+		l.known[t] = true
+	}
+	l.sealed = true
 }
 
 // Of returns the parameters for a gate type.
 func (l *Library) Of(t netlist.GateType) Params {
+	if l.sealed {
+		if int(t) < len(l.dense) && l.known[t] {
+			return l.dense[t]
+		}
+		return defaultParams
+	}
 	p, ok := l.ByType[t]
 	if !ok {
-		// Unknown types get conservative defaults rather than a panic:
-		// the library is consulted deep inside timing loops.
-		return Params{InputCapFF: 1.5, DriveResKOhm: 2.0, IntrinsicPS: 30}
+		return defaultParams
 	}
 	return p
 }

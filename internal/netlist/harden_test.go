@@ -1,0 +1,133 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Every shape of duplicate definition the .bench dialect can express must
+// be rejected with ErrDuplicateName — regression coverage for the
+// parser's duplicate handling plus the Validate checks behind it.
+func TestParseRejectsDuplicateDefinitions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"input-input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"},
+		{"input-gate", "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n"},
+		{"gate-gate", "INPUT(a)\nx = NOT(a)\nx = AND(a, a)\nOUTPUT(x)\n"},
+		{"tsvin-input", "TSV_IN(t)\nINPUT(t)\nOUTPUT(t)\n"},
+		{"output-output", "INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n"},
+		{"tsvout-output", "INPUT(a)\nTSV_OUT(z) = a\nOUTPUT(z) = a\n"},
+		{"tsvout-tsvout", "INPUT(a)\nTSV_OUT(z) = a\nTSV_OUT(z) = a\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.name, tc.src)
+			if err == nil {
+				t.Fatalf("duplicate definition accepted:\n%s", tc.src)
+			}
+			if !errors.Is(err, ErrDuplicateName) {
+				t.Fatalf("want ErrDuplicateName, got %v", err)
+			}
+		})
+	}
+}
+
+func TestParseRejectsEmptyGateName(t *testing.T) {
+	_, err := ParseString("empty", "INPUT(a)\n = NOT(a)\nOUTPUT(a)\n")
+	if err == nil {
+		t.Fatal("gate definition with empty output name accepted")
+	}
+	if !strings.Contains(err.Error(), "empty output name") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Validate must catch duplicates and empty names that programmatic
+// construction can smuggle past AddGate/AddOutput by appending to the
+// exported slices directly.
+func TestValidateCatchesSmuggledDuplicates(t *testing.T) {
+	t.Run("duplicate-output-port", func(t *testing.T) {
+		n := New("dup")
+		a := n.MustAddGate(GateInput, "a")
+		if err := n.AddOutput("z", a, PortPO); err != nil {
+			t.Fatal(err)
+		}
+		n.Outputs = append(n.Outputs, Output{Name: "z", Signal: a, Class: PortTSVOut})
+		err := n.Validate()
+		if err == nil {
+			t.Fatal("duplicate output port accepted by Validate")
+		}
+		if !errors.Is(err, ErrDuplicateName) {
+			t.Fatalf("want ErrDuplicateName, got %v", err)
+		}
+	})
+	t.Run("empty-gate-name", func(t *testing.T) {
+		n := New("empty")
+		n.MustAddGate(GateInput, "a")
+		n.Gates = append(n.Gates, Gate{Type: GateInput})
+		if err := n.Validate(); err == nil {
+			t.Fatal("empty gate name accepted by Validate")
+		}
+	})
+	t.Run("empty-port-name", func(t *testing.T) {
+		n := New("emptyport")
+		a := n.MustAddGate(GateInput, "a")
+		n.Outputs = append(n.Outputs, Output{Name: "", Signal: a, Class: PortPO})
+		if err := n.Validate(); err == nil {
+			t.Fatal("empty output port name accepted by Validate")
+		}
+	})
+}
+
+func TestRetypeSource(t *testing.T) {
+	n := New("retype")
+	a := n.MustAddGate(GateInput, "a")
+	g := n.MustAddGate(GateNot, "g", a)
+	if err := n.RetypeSource(a, GateTSVIn); err != nil {
+		t.Fatalf("input -> tsv_in: %v", err)
+	}
+	if got := n.TypeOf(a); got != GateTSVIn {
+		t.Fatalf("type = %v, want GateTSVIn", got)
+	}
+	if tsvs := n.InboundTSVs(); len(tsvs) != 1 || tsvs[0] != a {
+		t.Fatalf("InboundTSVs = %v after retype", tsvs)
+	}
+	if err := n.RetypeSource(a, GateInput); err != nil {
+		t.Fatalf("tsv_in -> input: %v", err)
+	}
+	if tsvs := n.InboundTSVs(); len(tsvs) != 0 {
+		t.Fatalf("InboundTSVs = %v after demotion", tsvs)
+	}
+	if err := n.RetypeSource(g, GateInput); err == nil {
+		t.Fatal("retyping a logic gate to a source must fail")
+	}
+	if err := n.RetypeSource(a, GateNot); err == nil {
+		t.Fatal("retyping a source to a logic type must fail")
+	}
+}
+
+func TestSetPortClass(t *testing.T) {
+	n := New("ports")
+	a := n.MustAddGate(GateInput, "a")
+	if err := n.AddOutput("z", a, PortPO); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPortClass(0, PortTSVOut); err != nil {
+		t.Fatal(err)
+	}
+	if outs := n.OutboundTSVs(); len(outs) != 1 || outs[0] != 0 {
+		t.Fatalf("OutboundTSVs = %v after promotion", outs)
+	}
+	if err := n.SetPortClass(0, PortPO); err != nil {
+		t.Fatal(err)
+	}
+	if outs := n.OutboundTSVs(); len(outs) != 0 {
+		t.Fatalf("OutboundTSVs = %v after demotion", outs)
+	}
+	if err := n.SetPortClass(3, PortPO); err == nil {
+		t.Fatal("out-of-range port index must fail")
+	}
+}

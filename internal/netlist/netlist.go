@@ -3,6 +3,7 @@ package netlist
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sort"
 )
 
@@ -178,6 +179,35 @@ func (n *Netlist) RewireOutput(idx int, newSrc SignalID) error {
 	}
 	n.Outputs[idx].Signal = newSrc
 	n.derivedOK = false
+	return nil
+}
+
+// RetypeSource changes a source gate's type to another source type —
+// GateInput ↔ GateTSVIn — the primitive TSV repair uses to demote a
+// failed pad out of the inbound set and promote a spare pad into it. The
+// restriction to source types keeps every structural invariant trivially
+// intact (sources take no fanin and drive whatever they already drive).
+func (n *Netlist) RetypeSource(id SignalID, typ GateType) error {
+	if !n.Valid(id) {
+		return ErrUnknownSignal
+	}
+	if !n.Gates[id].Type.IsSource() || !typ.IsSource() {
+		return fmt.Errorf("netlist: retype %q: %s -> %s is not a source-to-source change",
+			n.Gates[id].Name, n.Gates[id].Type, typ)
+	}
+	n.Gates[id].Type = typ
+	n.derivedOK = false
+	return nil
+}
+
+// SetPortClass changes an output port's class (PortPO ↔ PortTSVOut) —
+// how TSV repair moves a net between the outbound-TSV set and the plain
+// primary outputs.
+func (n *Netlist) SetPortClass(idx int, class PortClass) error {
+	if idx < 0 || idx >= len(n.Outputs) {
+		return fmt.Errorf("netlist: no output index %d", idx)
+	}
+	n.Outputs[idx].Class = class
 	return nil
 }
 
@@ -416,13 +446,26 @@ func (n *Netlist) Validate() error {
 		return fmt.Errorf("netlist %q: combinational cycle detected (%d of %d gates ordered)",
 			n.Name, len(n.levelOrd), len(n.Gates))
 	}
-	seen := make(map[string]struct{}, len(n.Gates))
+	// Name uniqueness: when the name index covers every gate it is itself
+	// the witness — AddGate refuses duplicate insertions and Clone copies
+	// the index verbatim, so a full-size index can only exist if names are
+	// unique. Hand-assembled netlists (no index, or one that fell behind
+	// the Gates slice) pay for the explicit re-hash below.
+	var seen map[string]struct{}
+	if len(n.byName) != len(n.Gates) {
+		seen = make(map[string]struct{}, len(n.Gates))
+	}
 	for i := range n.Gates {
 		g := &n.Gates[i]
-		if _, dup := seen[g.Name]; dup {
-			return fmt.Errorf("netlist %q: %w: %q", n.Name, ErrDuplicateName, g.Name)
+		if g.Name == "" {
+			return fmt.Errorf("netlist %q: gate %d (%s) has an empty name", n.Name, i, g.Type)
 		}
-		seen[g.Name] = struct{}{}
+		if seen != nil {
+			if _, dup := seen[g.Name]; dup {
+				return fmt.Errorf("netlist %q: %w: %q", n.Name, ErrDuplicateName, g.Name)
+			}
+			seen[g.Name] = struct{}{}
+		}
 		if min := g.Type.MinFanin(); len(g.Fanin) < min {
 			return fmt.Errorf("netlist %q: gate %q (%s) has %d fanin, needs >= %d",
 				n.Name, g.Name, g.Type, len(g.Fanin), min)
@@ -437,7 +480,15 @@ func (n *Netlist) Validate() error {
 			}
 		}
 	}
+	seenPort := make(map[string]struct{}, len(n.Outputs))
 	for _, o := range n.Outputs {
+		if o.Name == "" {
+			return fmt.Errorf("netlist %q: output port with empty name", n.Name)
+		}
+		if _, dup := seenPort[o.Name]; dup {
+			return fmt.Errorf("netlist %q: %w: output %q", n.Name, ErrDuplicateName, o.Name)
+		}
+		seenPort[o.Name] = struct{}{}
 		if !n.Valid(o.Signal) {
 			return fmt.Errorf("netlist %q: output %q observes %w %d", n.Name, o.Name, ErrUnknownSignal, o.Signal)
 		}
@@ -457,7 +508,10 @@ func (n *Netlist) Clone() *Netlist {
 		Name:    n.Name,
 		Gates:   make([]Gate, len(n.Gates)),
 		Outputs: append([]Output(nil), n.Outputs...),
-		byName:  make(map[string]SignalID, len(n.byName)),
+		// maps.Clone copies the table wholesale instead of re-hashing
+		// every name — the name index is a large share of a clone's cost
+		// on big dies.
+		byName: maps.Clone(n.byName),
 	}
 	total := 0
 	for i := range n.Gates {
@@ -470,7 +524,6 @@ func (n *Netlist) Clone() *Netlist {
 		flat = append(flat, g.Fanin...)
 		g.Fanin = flat[lo:len(flat):len(flat)]
 		c.Gates[i] = g
-		c.byName[g.Name] = SignalID(i)
 	}
 	return c
 }

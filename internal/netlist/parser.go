@@ -95,6 +95,9 @@ func Parse(name string, r io.Reader) (*Netlist, error) {
 				return nil, parseErr(name, lineNo, fmt.Errorf("unrecognized line %q", line))
 			}
 			out := strings.TrimSpace(line[:eq])
+			if out == "" {
+				return nil, parseErr(name, lineNo, fmt.Errorf("gate definition with empty output name"))
+			}
 			rhs := strings.TrimSpace(line[eq+1:])
 			op := strings.IndexByte(rhs, '(')
 			cp := strings.LastIndexByte(rhs, ')')

@@ -124,6 +124,32 @@ func (c *dieCache) wait(ctx context.Context, key DieKey, el *list.Element, e *ca
 	}
 }
 
+// peek returns the cached die for key without preparing on a miss: the
+// replan path needs the die a finished job was planned against, and
+// silently re-preparing it would turn a millisecond replan into a
+// multi-second prepare. A hit refreshes the entry's LRU position (a job
+// being replanned is in active use). In-flight and failed entries report
+// a miss.
+func (c *dieCache) peek(key DieKey) (*wcm3d.Die, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	select {
+	case <-e.ready:
+	default:
+		return nil, false
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e.die, true
+}
+
 // evictLocked drops least-recently-used *completed* entries until the cache
 // fits its capacity. In-flight entries are never evicted (their waiters
 // hold them); if everything is in flight the cache temporarily overshoots.

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"wcm3d"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -16,6 +18,8 @@ import (
 //	GET    /v1/jobs      list retained jobs (?state=<state>&limit=<n>&cursor=<tok>)
 //	GET    /v1/jobs/{id} poll one job
 //	DELETE /v1/jobs/{id} cancel one job
+//	POST   /v1/jobs/{id}/replan apply a TSV-fault delta and replan incrementally
+//	                     (200, 400, 404, 409, 410, 413; see docs/REPLAN.md)
 //	POST   /v1/schedules wrapper/TAM co-optimize a stack (200, 400, 413, 429, 503)
 //	POST   /v1/batches   run a multi-die sweep through the batch engine (202, 400, 429, 500, 503)
 //	GET    /v1/batches   list retained batches
@@ -40,6 +44,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/replan", s.handleReplan)
 	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
 	mux.HandleFunc("GET /v1/batches", s.handleBatches)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
@@ -255,6 +260,36 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReplan maps the replan path's structured failures onto statuses:
+// 404 unknown job, 409 for a job that cannot be replanned right now (not
+// done, or spares exhausted), 410 when the prepared die left the cache,
+// 413 for an oversized delta, 400 for malformed or unresolvable faults.
+func (s *Service) handleReplan(w http.ResponseWriter, r *http.Request) {
+	var req ReplanRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	st, err := s.Replan(r.PathValue("id"), req)
+	switch {
+	case errors.Is(err, ErrNoSuchJob):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+	case errors.Is(err, ErrDieEvicted):
+		writeJSON(w, http.StatusGone, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDeltaTooLarge):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrReplanJobNotDone), errors.Is(err, wcm3d.ErrNoSpares):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrReplanUnsupported),
+		errors.Is(err, wcm3d.ErrBadTSVFault),
+		errors.Is(err, wcm3d.ErrUnknownTSV):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
 }
 
 func (s *Service) handleDies(w http.ResponseWriter, r *http.Request) {

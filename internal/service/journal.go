@@ -37,6 +37,18 @@ type Journal interface {
 	Cancel(id string) error
 }
 
+// ReplanJournal is the optional Journal extension recording applied
+// replan deltas (POST /v1/jobs/{id}/replan), so a restart can rebuild a
+// job's repair history: the deltas replay into RecoveredJob.Replans, and
+// the planner itself is rebuilt lazily by re-applying them on the next
+// replan. internal/wal implements it; a Journal without it simply loses
+// replan state across restarts (the jobs themselves stay durable).
+type ReplanJournal interface {
+	// Replan records one applied delta. Only deltas that were actually
+	// executed are journaled — a rejected delta changes nothing.
+	Replan(id string, delta ReplanRequest) error
+}
+
 // RecoveredJob is one job reconstructed from the write-ahead log at boot.
 type RecoveredJob struct {
 	ID  string
@@ -55,6 +67,9 @@ type RecoveredJob struct {
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
+	// Replans is the job's applied TSV-repair delta history, in order
+	// (journals implementing ReplanJournal; empty otherwise).
+	Replans []ReplanRequest
 }
 
 // Recovery is what a Journal replays at boot: every job not yet compacted
@@ -123,6 +138,12 @@ func (s *Service) Recover(rec Recovery) (requeued, restored int, err error) {
 		j.submitted = r.SubmittedAt
 		if j.submitted.IsZero() {
 			j.submitted = time.Now()
+		}
+		if len(r.Replans) > 0 {
+			// The repair history survives the restart; the planner itself
+			// is rebuilt lazily by replaying it on the next replan.
+			j.replans = append([]ReplanRequest(nil), r.Replans...)
+			s.metrics.ReplansRecovered.Add(int64(len(r.Replans)))
 		}
 		if r.State != "" { // finished before the crash: restore, don't run
 			j.state = r.State
@@ -220,6 +241,24 @@ func (s *Service) journalFinish(j *job) {
 	if err != nil {
 		s.metrics.WALErrors.Add(1)
 		s.logf("wcmd: journal finish %s: %v", j.id, err)
+	}
+}
+
+// journalReplan records one applied replan delta; non-fatal on failure
+// (like Start/Finish — the replan already executed, a lost record only
+// costs replay fidelity after the next restart). Journals without the
+// ReplanJournal extension skip the record.
+func (s *Service) journalReplan(id string, delta ReplanRequest) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	rj, ok := s.cfg.Journal.(ReplanJournal)
+	if !ok {
+		return
+	}
+	if err := rj.Replan(id, delta); err != nil {
+		s.metrics.WALErrors.Add(1)
+		s.logf("wcmd: journal replan %s: %v", id, err)
 	}
 }
 

@@ -53,6 +53,14 @@ type Metrics struct {
 	BatchesRejected atomic.Int64
 	BatchDies       Histogram
 
+	// Replan counters: POST /v1/jobs/{id}/replan outcomes. Done counts
+	// applied deltas, Failed counts rejected or failed ones (bad faults,
+	// exhausted spares, evicted dies), Recovered counts deltas replayed
+	// from the write-ahead log at boot.
+	ReplansDone      atomic.Int64
+	ReplansFailed    atomic.Int64
+	ReplansRecovered atomic.Int64
+
 	// VerifyFailures counts jobs whose independent verification found
 	// violations — each one is an optimizer/verifier disagreement worth an
 	// operator's attention, even though the job itself still succeeds.
@@ -104,6 +112,7 @@ const (
 	StageTotal                 // whole job, submit-to-finish
 	StageSchedule              // whole stack scheduling run (/v1/schedules)
 	StageBatch                 // whole batch-engine run (/v1/batches)
+	StageReplan                // incremental TSV-repair replan (/v1/jobs/{id}/replan)
 	numStages
 )
 
@@ -127,6 +136,8 @@ func (s Stage) String() string {
 		return "schedule"
 	case StageBatch:
 		return "batch"
+	case StageReplan:
+		return "replan"
 	default:
 		return "unknown"
 	}
@@ -276,6 +287,11 @@ type MetricsSnapshot struct {
 		// bounds are die counts, not milliseconds.
 		Dies HistogramSnapshot `json:"dies"`
 	} `json:"batches"`
+	Replan struct {
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Recovered int64 `json:"recovered"`
+	} `json:"replan"`
 	Verify struct {
 		Failures int64 `json:"failures"`
 	} `json:"verify"`
@@ -308,6 +324,9 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Batches.Canceled = m.BatchesCanceled.Load()
 	s.Batches.Rejected = m.BatchesRejected.Load()
 	s.Batches.Dies = m.BatchDies.snapshot()
+	s.Replan.Done = m.ReplansDone.Load()
+	s.Replan.Failed = m.ReplansFailed.Load()
+	s.Replan.Recovered = m.ReplansRecovered.Load()
 	s.Verify.Failures = m.VerifyFailures.Load()
 	s.Refine.Improved = m.RefineImproved.Load()
 	s.Refine.CellsSaved = m.RefineCellsSaved.Load()

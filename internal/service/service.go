@@ -61,10 +61,15 @@ type DieSpec struct {
 	Profile wcm3d.Profile
 	// Source is an inline .bench netlist (alternative to Profile).
 	Source string
-	// Name is the display/cache name ("b12/Die1" or "bench:<hash>").
+	// Name is the display/cache name ("b12/Die1" or "bench:<hash>"),
+	// suffixed with the spare configuration when one is requested so
+	// spared and spare-less preparations never share a cache entry.
 	Name string
 	// Seed drives generation, placement and ATPG.
 	Seed int64
+	// Spares asks the preparation to materialize spare TSV sites (the
+	// prerequisite for POST /v1/jobs/{id}/replan).
+	Spares wcm3d.SpareSpec
 }
 
 // DefaultPrepare is the production die builder: PrepareDie for profiles,
@@ -79,7 +84,15 @@ func DefaultPrepare(ctx context.Context, spec DieSpec) (*wcm3d.Die, error) {
 		if err != nil {
 			return nil, err
 		}
+		if spec.Spares != (wcm3d.SpareSpec{}) {
+			if err := wcm3d.AddSpareTSVs(n, spec.Spares); err != nil {
+				return nil, err
+			}
+		}
 		return wcm3d.PrepareParsed(n, spec.Seed)
+	}
+	if spec.Spares != (wcm3d.SpareSpec{}) {
+		return wcm3d.PrepareDieWithSpares(spec.Profile, spec.Seed, spec.Spares)
 	}
 	return wcm3d.PrepareDie(spec.Profile, spec.Seed)
 }
@@ -115,6 +128,10 @@ type JobRequest struct {
 	// milliseconds. It is clamped to the server's MaxTimeout cap; 0 means
 	// the cap applies directly. A job over its deadline is canceled.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Spares asks the prepared die to carry spare TSV sites per side,
+	// making the finished job replannable after TSV defects
+	// (POST /v1/jobs/{id}/replan). Nil prepares no spares.
+	Spares *wcm3d.SpareSpec `json:"spares,omitempty"`
 }
 
 // Job states.
@@ -137,6 +154,9 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Replans counts the TSV-fault deltas applied to this job's plan via
+	// POST /v1/jobs/{id}/replan (journal-recovered deltas included).
+	Replans int `json:"replans,omitempty"`
 }
 
 type job struct {
@@ -166,6 +186,17 @@ type job struct {
 	// onFinish fires exactly once when the job reaches a terminal state
 	// (the cluster layer uses it to report stolen-job results back).
 	onFinish func(JobStatus)
+
+	// replanMu serializes replans per job — a ReplanPlanner is not safe
+	// for concurrent use. Acquired without s.mu (planner work is slow).
+	replanMu sync.Mutex
+	// planner is the lazily-built incremental replanner, seeded from the
+	// cached prepared die on the first replan and rebuilt (replaying
+	// replans) after a restart. Guarded by replanMu.
+	planner *wcm3d.ReplanPlanner
+	// replans is the job's applied delta history in order — the planner's
+	// rebuild script. Guarded by s.mu (status() reads its length).
+	replans []ReplanRequest
 }
 
 // DrainReport summarizes a shutdown: how the accepted jobs ended up. Jobs
@@ -263,11 +294,29 @@ func (s *Service) resolve(req JobRequest) (*job, error) {
 		j.spec.Profile = p
 		j.spec.Name = p.Name()
 	case req.Netlist != "":
+		// Parse the upload synchronously so a malformed netlist is a clean
+		// 400 at submit time instead of an async job failure. The prepare
+		// path re-parses, but only once per unique source thanks to the die
+		// cache, and parsing is cheap next to placement and timing.
+		if _, err := wcm3d.ParseNetlist("upload", strings.NewReader(req.Netlist)); err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
 		sum := sha256.Sum256([]byte(req.Netlist))
 		j.spec.Source = req.Netlist
 		j.spec.Name = "bench:" + hex.EncodeToString(sum[:6])
 	default:
 		return nil, errors.New("pass profile or netlist")
+	}
+	if req.Spares != nil {
+		if req.Spares.Inbound < 0 || req.Spares.Outbound < 0 {
+			return nil, fmt.Errorf("spare counts must be >= 0, got %+v", *req.Spares)
+		}
+		j.spec.Spares = *req.Spares
+		if *req.Spares != (wcm3d.SpareSpec{}) {
+			// The spare sites change the prepared netlist, so the cache
+			// key must distinguish spared preparations.
+			j.spec.Name = fmt.Sprintf("%s+s%di%do", j.spec.Name, req.Spares.Inbound, req.Spares.Outbound)
+		}
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
@@ -623,6 +672,7 @@ func (s *Service) status(j *job) JobStatus {
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
+		Replans:     len(j.replans),
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

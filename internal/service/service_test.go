@@ -442,7 +442,7 @@ func TestPrepareFailure(t *testing.T) {
 }
 
 // TestInlineNetlist runs the real PrepareParsed path on a tiny hand-written
-// die, and checks that a garbage netlist fails the job, not the daemon.
+// die, and checks that a garbage netlist is rejected synchronously at submit.
 func TestInlineNetlist(t *testing.T) {
 	const tiny = `
 INPUT(clk_en)
@@ -481,9 +481,8 @@ TSV_OUT(t_out2) = n_next0
 	}
 
 	body, _ = json.Marshal(JobRequest{Netlist: "not a netlist at all"})
-	_, st, _ = postJob(t, ts, string(body))
-	if fin := waitJob(t, ts, st.ID); fin.State != StateFailed {
-		t.Errorf("garbage netlist = %+v, want failed", fin)
+	if code, _, raw := postJob(t, ts, string(body)); code != http.StatusBadRequest {
+		t.Errorf("garbage netlist = %d (%s), want 400 at submit", code, raw)
 	}
 }
 

@@ -1,0 +1,160 @@
+// Package tsvrepair models pre-bond TSV defects and repairs them against
+// spare TSV sites, replanning the die's wrapper-cell assignment
+// incrementally instead of from scratch.
+//
+// The workload it implements: manufacturing test finds a defective TSV
+// (stuck, open, bridged, or in a crosstalk-prone pair); the repair flow
+// reroutes the victim's net to a spare TSV and the pre-bond test plan must
+// be regenerated for the patched die. Regeneration rides a wcm.Session —
+// the masked-cone and edge-verdict caches survive the patch because a
+// repair only rewires source pads — so a replan costs the graph rebuild
+// and the partition, not the cone traversals and the O(n²) edge sweep.
+// The correctness anchor is differential: every incremental plan must be
+// verify.Plan-clean and cell-count-equal to a from-scratch wcm.Run on the
+// same patched die, and the test suites in this package certify exactly
+// that.
+package tsvrepair
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Structured failures, so callers (the wcmd service, the CLI) can map
+// repair outcomes onto exit codes and HTTP statuses.
+var (
+	// ErrUnknownTSV marks a fault naming no live TSV on the die — either
+	// it never existed or an earlier repair already took it out of
+	// service.
+	ErrUnknownTSV = errors.New("tsvrepair: unknown TSV")
+	// ErrNoSpares marks a delta needing more spare sites than remain.
+	ErrNoSpares = errors.New("tsvrepair: spare TSVs exhausted")
+	// ErrBadFault marks a structurally invalid fault (unknown kind,
+	// missing or self-referencing partner, duplicate victim, empty delta).
+	ErrBadFault = errors.New("tsvrepair: malformed fault")
+)
+
+// FaultKind enumerates the pre-bond TSV defect classes.
+type FaultKind uint8
+
+// Defect classes. Stuck and open defects kill one TSV; a bridge kills
+// both of its pair; a crosstalk-prone pair is repaired by relocating the
+// victim away from the aggressor.
+const (
+	Stuck0 FaultKind = iota + 1
+	Stuck1
+	Open
+	Bridge
+	Crosstalk
+)
+
+// String names the kind with the spelling the CLI and service accept.
+func (k FaultKind) String() string {
+	switch k {
+	case Stuck0:
+		return "stuck0"
+	case Stuck1:
+		return "stuck1"
+	case Open:
+		return "open"
+	case Bridge:
+		return "bridge"
+	case Crosstalk:
+		return "crosstalk"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// ParseFaultKind maps the CLI/service spelling back to a kind.
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch s {
+	case "stuck0", "stuck-0", "sa0":
+		return Stuck0, nil
+	case "stuck1", "stuck-1", "sa1":
+		return Stuck1, nil
+	case "open":
+		return Open, nil
+	case "bridge":
+		return Bridge, nil
+	case "crosstalk", "xtalk":
+		return Crosstalk, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown kind %q", ErrBadFault, s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler (JSON wire form).
+func (k FaultKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *FaultKind) UnmarshalText(b []byte) error {
+	kk, err := ParseFaultKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = kk
+	return nil
+}
+
+// Fault is one TSV defect, referencing TSVs by name: an inbound TSV by
+// its landing-pad signal name, an outbound TSV by its port name.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// TSV is the victim — the TSV taken out of service (for Crosstalk,
+	// the one relocated away from the pair).
+	TSV string `json:"tsv"`
+	// With is the partner of a Bridge (also taken out of service) or the
+	// aggressor of a Crosstalk pair (left in place). Empty otherwise.
+	With string `json:"with,omitempty"`
+}
+
+// validate checks the fault's shape (not the die: name resolution is the
+// planner's job).
+func (f Fault) validate() error {
+	if f.TSV == "" {
+		return fmt.Errorf("%w: fault %s has no victim TSV", ErrBadFault, f.Kind)
+	}
+	switch f.Kind {
+	case Stuck0, Stuck1, Open:
+		if f.With != "" {
+			return fmt.Errorf("%w: %s fault on %q names a partner %q", ErrBadFault, f.Kind, f.TSV, f.With)
+		}
+	case Bridge, Crosstalk:
+		if f.With == "" {
+			return fmt.Errorf("%w: %s fault on %q needs a partner", ErrBadFault, f.Kind, f.TSV)
+		}
+		if f.With == f.TSV {
+			return fmt.Errorf("%w: %s fault pairs %q with itself", ErrBadFault, f.Kind, f.TSV)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %v", ErrBadFault, f.Kind)
+	}
+	return nil
+}
+
+// String renders the fault for logs.
+func (f Fault) String() string {
+	if f.With != "" {
+		return fmt.Sprintf("%s(%s,%s)", f.Kind, f.TSV, f.With)
+	}
+	return fmt.Sprintf("%s(%s)", f.Kind, f.TSV)
+}
+
+// Delta is one atomic batch of faults: either every repair in it lands or
+// none does.
+type Delta struct {
+	Faults []Fault `json:"faults"`
+}
+
+// Repair records one executed victim-to-spare substitution.
+type Repair struct {
+	// Fault is the defect that triggered the substitution.
+	Fault Fault `json:"fault"`
+	// Failed names the TSV taken out of service.
+	Failed string `json:"failed"`
+	// Spare names the spare site promoted in its place.
+	Spare string `json:"spare"`
+	// Inbound reports which side of the die was repaired.
+	Inbound bool `json:"inbound"`
+}

@@ -1,0 +1,108 @@
+package tsvrepair
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"wcm3d/internal/experiments"
+	"wcm3d/internal/wcm"
+)
+
+// SpeedupRow is one die's replan-vs-rerun timing: a single stuck-at TSV
+// failure repaired onto a spare, then the incremental replan timed against
+// a from-scratch rerun over the identical patched input. Times are medians
+// over the trials; Equal and Verified certify the speed was not bought
+// with a different (or invalid) plan.
+type SpeedupRow struct {
+	Die      string
+	ReplanMS float64
+	RerunMS  float64
+	Ratio    float64
+	Equal    bool
+	Verified bool
+}
+
+// MeasureSpeedup runs `trials` cold single-fault replans on d. Every trial
+// builds a fresh planner — the baseline run seeds the session caches, the
+// fault is applied, and the first Run after the patch is what the clock
+// sees, so the replan time is the honest incremental cost, not a
+// stage-cache hit on an unchanged graph. The from-scratch rerun shares
+// the trial's patched die.
+func MeasureSpeedup(d *experiments.Die, opts wcm.Options, trials int) (SpeedupRow, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	row := SpeedupRow{Die: d.Profile.Name(), Equal: true, Verified: true}
+	replanMS := make([]float64, 0, trials)
+	rerunMS := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		p, err := NewPlanner(d, opts)
+		if err != nil {
+			return row, err
+		}
+		ins := p.die.Netlist.InboundTSVs()
+		if len(ins) == 0 {
+			return row, fmt.Errorf("tsvrepair: %s has no inbound TSVs to fail", row.Die)
+		}
+		victim := p.die.Netlist.NameOf(ins[0])
+		if _, err := p.Apply(Delta{Faults: []Fault{{Kind: Stuck0, TSV: victim}}}); err != nil {
+			return row, fmt.Errorf("tsvrepair: %s: applying fault: %w", row.Die, err)
+		}
+		start := time.Now()
+		inc, err := p.Replan()
+		if err != nil {
+			return row, fmt.Errorf("tsvrepair: %s: replan: %w", row.Die, err)
+		}
+		replanMS = append(replanMS, ms(time.Since(start)))
+		start = time.Now()
+		ref, err := p.Rerun()
+		if err != nil {
+			return row, fmt.Errorf("tsvrepair: %s: rerun: %w", row.Die, err)
+		}
+		rerunMS = append(rerunMS, ms(time.Since(start)))
+		if !reflect.DeepEqual(inc, ref) {
+			row.Equal = false
+		}
+		if i == 0 {
+			vr, err := p.Verify(inc)
+			if err != nil {
+				return row, fmt.Errorf("tsvrepair: %s: verify: %w", row.Die, err)
+			}
+			if !vr.OK() {
+				row.Verified = false
+			}
+		}
+	}
+	row.ReplanMS = median(replanMS)
+	row.RerunMS = median(rerunMS)
+	if row.ReplanMS > 0 {
+		row.Ratio = row.RerunMS / row.ReplanMS
+	}
+	return row, nil
+}
+
+// MedianRatio is the sweep-level headline: the median of the per-die
+// speedup ratios.
+func MedianRatio(rows []SpeedupRow) float64 {
+	rs := make([]float64, len(rows))
+	for i, r := range rows {
+		rs[i] = r.Ratio
+	}
+	return median(rs)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 0 {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+	return s[len(s)/2]
+}

@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"wcm3d"
+	"wcm3d/internal/service"
+)
+
+func delta(kind wcm3d.TSVFaultKind, tsv string) service.ReplanRequest {
+	return service.ReplanRequest{Faults: []wcm3d.TSVFault{{Kind: kind, TSV: tsv}}}
+}
+
+// TestReplanRoundTripRecovery journals a finished job plus two replan
+// deltas and checks they replay in order on the RecoveredJob — across a
+// plain reopen and across a compaction (which rewrites the record chain).
+func TestReplanRoundTripRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	req := reqFor("b11/0")
+	if err := l.Submit("j-000001", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start("j-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Finish("j-000001", service.StateDone, "", &service.Report{}); err != nil {
+		t.Fatal(err)
+	}
+	d1 := delta(wcm3d.TSVStuck0, "tsv_a")
+	d2 := delta(wcm3d.TSVOpen, "tsv_b")
+	if err := l.Replan("j-000001", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replan("j-000001", d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(rec service.Recovery) {
+		t.Helper()
+		j, ok := findJob(rec, "j-000001")
+		if !ok {
+			t.Fatalf("job lost: %+v", rec.Jobs)
+		}
+		if j.State != service.StateDone {
+			t.Fatalf("state = %q, want done", j.State)
+		}
+		if len(j.Replans) != 2 {
+			t.Fatalf("replans = %d, want 2: %+v", len(j.Replans), j.Replans)
+		}
+		if got := j.Replans[0].Faults[0]; got.Kind != wcm3d.TSVStuck0 || got.TSV != "tsv_a" {
+			t.Fatalf("replan 1 out of order or mangled: %+v", got)
+		}
+		if got := j.Replans[1].Faults[0]; got.Kind != wcm3d.TSVOpen || got.TSV != "tsv_b" {
+			t.Fatalf("replan 2 out of order or mangled: %+v", got)
+		}
+	}
+
+	// First reopen replays the original records; Open itself compacts, so
+	// the second reopen replays the rewritten chain from writeCompacted.
+	l2, rec := openTest(t, dir, Options{})
+	check(rec)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec = openTest(t, dir, Options{})
+	check(rec)
+}
+
+// TestReplanRetentionFollowsJob checks that a job compacted away past the
+// retention horizon takes its replan history with it.
+func TestReplanRetentionFollowsJob(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	old := time.Now().Add(-2 * time.Hour).UnixNano()
+	req := reqFor("b11/0")
+	d := delta(wcm3d.TSVStuck1, "tsv_x")
+	for _, r := range []record{
+		{T: typeSubmit, ID: "j-000003", At: old, Req: &req},
+		{T: typeFinish, ID: "j-000003", At: old, State: service.StateDone},
+		{T: typeReplan, ID: "j-000003", At: old, Delta: &d},
+	} {
+		if err := l.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openTest(t, dir, Options{})
+	if _, ok := findJob(rec, "j-000003"); ok {
+		t.Fatalf("expired job (and its replans) survived compaction: %+v", rec.Jobs)
+	}
+	if rec.MaxSeq != 3 {
+		t.Fatalf("MaxSeq = %d, want 3", rec.MaxSeq)
+	}
+}

@@ -25,6 +25,7 @@ type jobState struct {
 	terminal string // "", done, failed, canceled
 	errMsg   string
 	res      *service.Report
+	replans  []service.ReplanRequest
 }
 
 // batchState is the folded per-batch outcome of a replay.
@@ -105,6 +106,12 @@ func fold(jobs map[string]*jobState, r record, maxSeq *int) {
 			js.terminal = service.StateCanceled
 			js.errMsg = "canceled"
 			js.finishAt = r.At
+		}
+	case typeReplan:
+		// Replans land after the job finished, so they fold regardless of
+		// terminal state; record order is history order.
+		if r.Delta != nil {
+			js.replans = append(js.replans, *r.Delta)
 		}
 	}
 }
@@ -307,6 +314,7 @@ func (l *Log) compactLocked(now time.Time) (service.Recovery, error) {
 			SubmittedAt: nanoTime(js.submitAt),
 			StartedAt:   nanoTime(js.startAt),
 			FinishedAt:  nanoTime(js.finishAt),
+			Replans:     js.replans,
 		}
 		rec.Jobs = append(rec.Jobs, rj)
 	}
@@ -358,6 +366,11 @@ func (l *Log) writeCompacted(n int, live []*jobState, liveBatches []*batchState,
 		if js.terminal != "" {
 			if err := write(record{T: typeFinish, ID: js.id, At: js.finishAt,
 				State: js.terminal, Err: js.errMsg, Res: js.res}); err != nil {
+				return err
+			}
+		}
+		for i := range js.replans {
+			if err := write(record{T: typeReplan, ID: js.id, Delta: &js.replans[i]}); err != nil {
 				return err
 			}
 		}

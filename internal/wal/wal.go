@@ -40,6 +40,10 @@ const (
 	// journaled).
 	typeBatchSubmit = "bsubmit"
 	typeBatchFinish = "bfinish"
+	// typeReplan records one applied TSV-repair delta on a finished job
+	// (POST /v1/jobs/{id}/replan); replay rebuilds the job's repair
+	// history in record order.
+	typeReplan = "replan"
 	// typeMark carries the job-id sequence watermark across compactions,
 	// so a log whose every job was compacted away still prevents id reuse.
 	typeMark = "mark"
@@ -47,15 +51,16 @@ const (
 
 // record is the JSON payload of one frame.
 type record struct {
-	T     string                `json:"t"`
-	ID    string                `json:"id,omitempty"`
-	At    int64                 `json:"at,omitempty"` // unix nanoseconds
-	Req   *service.JobRequest   `json:"req,omitempty"`
-	BReq  *service.BatchRequest `json:"breq,omitempty"`
-	State string                `json:"state,omitempty"`
-	Err   string                `json:"err,omitempty"`
-	Res   *service.Report       `json:"res,omitempty"`
-	Seq   int                   `json:"seq,omitempty"`
+	T     string                 `json:"t"`
+	ID    string                 `json:"id,omitempty"`
+	At    int64                  `json:"at,omitempty"` // unix nanoseconds
+	Req   *service.JobRequest    `json:"req,omitempty"`
+	BReq  *service.BatchRequest  `json:"breq,omitempty"`
+	State string                 `json:"state,omitempty"`
+	Err   string                 `json:"err,omitempty"`
+	Res   *service.Report        `json:"res,omitempty"`
+	Delta *service.ReplanRequest `json:"delta,omitempty"`
+	Seq   int                    `json:"seq,omitempty"`
 }
 
 // Options tunes a Log. The zero value gets defaults from Open.
@@ -240,6 +245,12 @@ func (l *Log) Cancel(id string) error {
 	return l.append(record{T: typeCancel, ID: id, At: time.Now().UnixNano()})
 }
 
+// Replan implements service.ReplanJournal.
+func (l *Log) Replan(id string, delta service.ReplanRequest) error {
+	d := delta
+	return l.append(record{T: typeReplan, ID: id, At: time.Now().UnixNano(), Delta: &d})
+}
+
 // SubmitBatch implements service.BatchJournal.
 func (l *Log) SubmitBatch(id string, req service.BatchRequest) error {
 	r := req
@@ -252,6 +263,7 @@ func (l *Log) FinishBatch(id string, state, errMsg string) error {
 }
 
 var (
-	_ service.Journal      = (*Log)(nil)
-	_ service.BatchJournal = (*Log)(nil)
+	_ service.Journal       = (*Log)(nil)
+	_ service.BatchJournal  = (*Log)(nil)
+	_ service.ReplanJournal = (*Log)(nil)
 )

@@ -76,6 +76,10 @@ type Graph struct {
 	// Every degree mutation flows through bumpDeg/bumpCleanDeg to keep
 	// the four views consistent.
 	degIdx [2][2]degIndex
+	// pick caches min-degree-neighbor candidates between merges (see
+	// pickCache). Off by default so the plain flow stays on the simple
+	// reference path; sessions opt in via EnablePickCache.
+	pick pickCache
 }
 
 // Index axes for degIdx.
@@ -161,6 +165,59 @@ func (x *degIndex) min() (int, bool) {
 	panic("wcmgraph: degree index count drifted from bucket contents")
 }
 
+// pickCache memoizes the expensive half of minDegreePlane: the scan over
+// n1's neighbors for the minimum-degree eligible one. Between two merges
+// the partitioner only deletes the pair it was just handed, which changes
+// no other node's degree — so the sorted candidate list collected on the
+// last full scan keeps yielding exact successive argmins until a merge
+// (or any other structural mutation) invalidates it. Tiers that found no
+// eligible neighbor are remembered too (negN1): edge deletions can never
+// create eligibility, so a failing (tier, n1) keeps failing until a merge
+// or edge insertion. Every pop re-checks adjacency and degree, so a
+// violated assumption degrades to a rescan, never a wrong pick.
+type pickCache struct {
+	enabled bool
+	valid   bool
+	tier    uint8
+	n1      int32
+	lastN2  int32
+	next    int
+	cands   []pickCand
+	negN1   [4]int32 // per tier: n1 known to have no eligible neighbor
+	negSet  [4]bool
+}
+
+type pickCand struct {
+	deg int32
+	id  int32
+}
+
+// pickCacheCap bounds the candidates kept per scan. Exhausting the list
+// just forces the next pick back onto a full scan.
+const pickCacheCap = 48
+
+// EnablePickCache turns on candidate caching for min-degree selection.
+// Picks are bit-identical with or without it (the equivalence tests pin
+// both modes against the linear-scan oracle); the cache only changes how
+// much work repeated picks between merges cost.
+func (g *Graph) EnablePickCache() { g.pick.enabled = true }
+
+func (g *Graph) invalidatePicks() {
+	g.pick.valid = false
+	g.pick.negSet = [4]bool{}
+}
+
+func tierKey(cleanOnly, noFF bool) uint8 {
+	k := uint8(0)
+	if cleanOnly {
+		k |= 2
+	}
+	if noFF {
+		k |= 1
+	}
+	return k
+}
+
 // bumpDeg changes a node's all-plane degree by delta, keeping the degree
 // indexes in sync. The node must be alive.
 func (g *Graph) bumpDeg(id int, delta int32) {
@@ -230,6 +287,7 @@ func (g *Graph) AddNode(n Node) (int, error) {
 	}
 	n.alive = true
 	n.deg, n.cleanDeg = 0, 0 // a new node enters the degree indexes via bumpDeg
+	g.invalidatePicks()
 	id := len(g.nodes)
 	g.nodes = append(g.nodes, n)
 	g.adj = append(g.adj, wordpool.Get(g.words))
@@ -278,6 +336,7 @@ func (g *Graph) addEdge(a, b int, overlap bool) {
 	if a == b || g.HasEdge(a, b) {
 		return
 	}
+	g.invalidatePicks()
 	g.adj[a][b>>6] |= 1 << (uint(b) & 63)
 	g.adj[b][a>>6] |= 1 << (uint(a) & 63)
 	g.bumpDeg(a, 1)
@@ -291,10 +350,57 @@ func (g *Graph) addEdge(a, b int, overlap bool) {
 	}
 }
 
+// BulkRows exposes a node's adjacency and clean-plane rows for direct
+// bulk loading: a caller that already knows the whole edge set (the
+// session's verdict matrix) writes neighbor bits straight into the rows —
+// row-local, so rows load in parallel — and then calls FinishBulkEdges
+// once. The caller owns symmetry (bit b in row a iff bit a in row b) and
+// the clean-subset invariant (clean bits only where adjacency bits are).
+func (g *Graph) BulkRows(id int) (adj, clean []uint64) {
+	return g.adj[id], g.clean[id]
+}
+
+// FinishBulkEdges derives every degree counter, the edge count, and the
+// degree-bucket indexes from rows loaded via BulkRows. It must run on a
+// graph whose edges were only ever written through BulkRows (the indexes
+// are assumed empty, as AddNode leaves them). The resulting graph state
+// is identical to one built edge-by-edge with AddEdge/AddOverlapEdge:
+// rows are order-independent sets and the bucket indexes hold the same
+// membership either way.
+func (g *Graph) FinishBulkEdges() (edges, cleanEdges int) {
+	totDeg, totClean := 0, 0
+	for id := range g.nodes {
+		n := &g.nodes[id]
+		d, cd := int32(0), int32(0)
+		for _, w := range g.adj[id] {
+			d += int32(bits.OnesCount64(w))
+		}
+		for _, w := range g.clean[id] {
+			cd += int32(bits.OnesCount64(w))
+		}
+		n.deg, n.cleanDeg = d, cd
+		g.reindex(planeAll, id, 0, d, n.HasFF)
+		g.reindex(planeClean, id, 0, cd, n.HasFF)
+		totDeg += int(d)
+		totClean += int(cd)
+	}
+	g.edges = totDeg / 2
+	return g.edges, totClean / 2
+}
+
 // DeleteEdge removes the edge between a and b if present.
 func (g *Graph) DeleteEdge(a, b int) {
 	if !g.HasEdge(a, b) {
 		return
+	}
+	// Deleting exactly the pair the last pick returned keeps the
+	// candidate list valid (no other node's degree moves); any other
+	// deletion drops it. Negative entries survive every deletion: losing
+	// edges can never give a failing (tier, n1) an eligible neighbor.
+	if pc := &g.pick; pc.valid &&
+		!(int32(a) == pc.n1 && int32(b) == pc.lastN2) &&
+		!(int32(b) == pc.n1 && int32(a) == pc.lastN2) {
+		pc.valid = false
 	}
 	g.adj[a][b>>6] &^= 1 << (uint(b) & 63)
 	g.adj[b][a>>6] &^= 1 << (uint(a) & 63)
@@ -319,26 +425,6 @@ func (g *Graph) Neighbors(id int, fn func(nb int)) {
 			w &= w - 1
 		}
 	}
-}
-
-// deleteNode removes a node and all its edges.
-func (g *Graph) deleteNode(id int) {
-	g.Neighbors(id, func(nb int) {
-		g.adj[nb][id>>6] &^= 1 << (uint(id) & 63)
-		g.bumpDeg(nb, -1)
-		g.edges--
-		if g.clean[nb][id>>6]&(1<<(uint(id)&63)) != 0 {
-			g.clean[nb][id>>6] &^= 1 << (uint(id) & 63)
-			g.bumpCleanDeg(nb, -1)
-		}
-	})
-	for i := range g.adj[id] {
-		g.adj[id][i] = 0
-		g.clean[id][i] = 0
-	}
-	g.bumpDeg(id, -g.nodes[id].deg)
-	g.bumpCleanDeg(id, -g.nodes[id].cleanDeg)
-	g.nodes[id].alive = false
 }
 
 // MinDegreePair implements the selection rule of paper Algorithm 2 — the
@@ -390,6 +476,71 @@ func (g *Graph) minDegreePlane(cleanOnly, noFF bool) (n1, n2 int, ok bool) {
 			return g.nodes[i].cleanDeg
 		}
 		return g.nodes[i].deg
+	}
+	key := tierKey(cleanOnly, noFF)
+	pc := &g.pick
+	if pc.enabled {
+		if pc.negSet[key] && pc.negN1[key] == int32(n1) {
+			return 0, 0, false
+		}
+		if pc.valid && pc.tier == key && pc.n1 == int32(n1) {
+			for pc.next < len(pc.cands) {
+				c := pc.cands[pc.next]
+				pc.next++
+				// Exactness guard: the candidate must still be adjacent in
+				// this plane with the degree recorded at scan time.
+				// Violations (an untracked mutation) fall back to a scan.
+				row := g.adj[n1]
+				if cleanOnly {
+					row = g.clean[n1]
+				}
+				if row[c.id>>6]&(1<<(uint(c.id)&63)) != 0 && deg(int(c.id)) == c.deg {
+					pc.lastN2 = c.id
+					return n1, int(c.id), true
+				}
+				pc.valid = false
+				break
+			}
+		}
+	}
+	if pc.enabled {
+		// Full scan, keeping the pickCacheCap best (degree, id) candidates
+		// in sorted order. Ascending-id iteration inserts equal-degree
+		// candidates after earlier ids, matching lowest-id tie-breaking.
+		pc.valid = false
+		pc.cands = pc.cands[:0]
+		g.neighborsPlane(n1, cleanOnly, func(nb int) {
+			if noFF && g.nodes[nb].HasFF {
+				return
+			}
+			d := deg(nb)
+			n := len(pc.cands)
+			if n == pickCacheCap && d >= pc.cands[n-1].deg {
+				return
+			}
+			pos := n
+			for pos > 0 && pc.cands[pos-1].deg > d {
+				pos--
+			}
+			if n < pickCacheCap {
+				pc.cands = append(pc.cands, pickCand{})
+			} else {
+				n--
+			}
+			copy(pc.cands[pos+1:], pc.cands[pos:n])
+			pc.cands[pos] = pickCand{deg: d, id: int32(nb)}
+		})
+		if len(pc.cands) == 0 {
+			pc.negN1[key] = int32(n1)
+			pc.negSet[key] = true
+			return 0, 0, false
+		}
+		pc.valid = true
+		pc.tier = key
+		pc.n1 = int32(n1)
+		pc.next = 1
+		pc.lastN2 = pc.cands[0].id
+		return n1, int(pc.cands[0].id), true
 	}
 	n2 = -1
 	g.neighborsPlane(n1, cleanOnly, func(nb int) {
@@ -525,40 +676,86 @@ func (g *Graph) Merge(a, b int, mergedLoad float64) (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	// Common neighbors: intersection of the two adjacency rows, on both
-	// planes. A merged clique's clean edge to nc requires BOTH members'
-	// edges to nc to be clean; otherwise the surviving edge is overlap
-	// quality.
+	// The merged node keeps the common neighbors of a and b (preserving
+	// the clique invariant); a merged clique's clean edge to nc requires
+	// BOTH members' edges to nc to be clean, otherwise the surviving edge
+	// is overlap quality. Every union neighbor's degree nets out to
+	// exactly -1 (a common neighbor trades two edges for one; an
+	// exclusive neighbor loses its only edge), so each gets a single
+	// fused index update instead of an add for the new edge plus removals
+	// for the dying ones.
 	rowA, rowB := g.adj[a], g.adj[b]
 	cleanA, cleanB := g.clean[a], g.clean[b]
 	row, cleanRow := g.adj[id], g.clean[id]
+	aW, aM := a>>6, uint64(1)<<(uint(a)&63)
+	bW, bM := b>>6, uint64(1)<<(uint(b)&63)
+	idW, idM := id>>6, uint64(1)<<(uint(id)&63)
 	newDeg, newClean := int32(0), int32(0)
 	for wi := range rowA {
-		w := rowA[wi] & rowB[wi]
-		if w == 0 {
+		wa, wb := rowA[wi], rowB[wi]
+		union := wa | wb
+		if union == 0 {
 			continue
 		}
-		row[wi] = w
-		cw := cleanA[wi] & cleanB[wi] & w
-		cleanRow[wi] = cw
-		for x := w; x != 0; x &= x - 1 {
-			nb := wi*64 + bits.TrailingZeros64(x)
-			g.adj[nb][id>>6] |= 1 << (uint(id) & 63)
-			g.bumpDeg(nb, 1)
-			newDeg++
-			g.edges++
-		}
-		for x := cw; x != 0; x &= x - 1 {
-			nb := wi*64 + bits.TrailingZeros64(x)
-			g.clean[nb][id>>6] |= 1 << (uint(id) & 63)
-			g.bumpCleanDeg(nb, 1)
-			newClean++
+		// w excludes a and b automatically: neither row carries a
+		// self-loop bit, so the intersection cannot contain either id.
+		w := wa & wb
+		cwA, cwB := cleanA[wi], cleanB[wi]
+		cw := cwA & cwB & w
+		row[wi], cleanRow[wi] = w, cw
+		newDeg += int32(bits.OnesCount64(w))
+		newClean += int32(bits.OnesCount64(cw))
+		for x := union; x != 0; x &= x - 1 {
+			nbID := wi*64 + bits.TrailingZeros64(x)
+			if nbID == a || nbID == b {
+				continue
+			}
+			m := x & -x
+			nbAdj, nbClean := g.adj[nbID], g.clean[nbID]
+			nbAdj[aW] &^= aM
+			nbAdj[bW] &^= bM
+			cleanDelta := int32(0)
+			if cwA&m != 0 {
+				nbClean[aW] &^= aM
+				cleanDelta++
+			}
+			if cwB&m != 0 {
+				nbClean[bW] &^= bM
+				cleanDelta++
+			}
+			if w&m != 0 {
+				nbAdj[idW] |= idM
+				if cw&m != 0 {
+					nbClean[idW] |= idM
+					cleanDelta--
+				}
+			}
+			g.edges--
+			node := &g.nodes[nbID]
+			old := node.deg
+			node.deg = old - 1
+			g.reindex(planeAll, nbID, old, node.deg, node.HasFF)
+			if cleanDelta != 0 {
+				oldC := node.cleanDeg
+				node.cleanDeg = oldC - cleanDelta
+				g.reindex(planeClean, nbID, oldC, node.cleanDeg, node.HasFF)
+			}
 		}
 	}
-	g.bumpDeg(id, newDeg)
-	g.bumpCleanDeg(id, newClean)
-	g.deleteNode(a)
-	g.deleteNode(b)
+	g.edges-- // the a-b edge itself
+	mn := &g.nodes[id]
+	mn.deg, mn.cleanDeg = newDeg, newClean
+	g.reindex(planeAll, id, 0, newDeg, mn.HasFF)
+	g.reindex(planeClean, id, 0, newClean, mn.HasFF)
+	for _, v := range [2]int{a, b} {
+		n := &g.nodes[v]
+		g.reindex(planeAll, v, n.deg, 0, n.HasFF)
+		g.reindex(planeClean, v, n.cleanDeg, 0, n.HasFF)
+		n.deg, n.cleanDeg = 0, 0
+		clear(g.adj[v])
+		clear(g.clean[v])
+		n.alive = false
+	}
 	return id, nil
 }
 

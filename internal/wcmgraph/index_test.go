@@ -38,26 +38,62 @@ func randomGraph(rng *rand.Rand, n int, density float64) *Graph {
 // partition runs, asserting at every single iteration that the
 // degree-bucket index picks exactly the pair the linear-scan reference
 // picks — same tier order, same lowest-id tie-breaking — while merges and
-// edge deletions mutate the graph underneath.
+// edge deletions mutate the graph underneath. Both index modes are pinned:
+// the plain one and the candidate-caching one sessions enable.
 func TestMinDegreePairMatchesScan(t *testing.T) {
-	for seed := int64(0); seed < 20; seed++ {
+	for _, cached := range []bool{false, true} {
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomGraph(rng, 40+rng.Intn(80), 0.02+rng.Float64()*0.15)
+			if cached {
+				g.EnablePickCache()
+			}
+			for step := 0; ; step++ {
+				i1, i2, iok := g.MinDegreePair()
+				s1, s2, sok := g.minDegreePairScan()
+				if iok != sok || i1 != s1 || i2 != s2 {
+					t.Fatalf("cached=%v seed %d step %d: index picked (%d,%d,%v), scan picked (%d,%d,%v)",
+						cached, seed, step, i1, i2, iok, s1, s2, sok)
+				}
+				if !iok {
+					break
+				}
+				// Alternate merge and delete like the partitioner does when
+				// mergeFits flips, so both mutation paths exercise the index.
+				if rng.Intn(3) != 0 {
+					if _, err := g.Merge(i1, i2, 0); err != nil {
+						t.Fatalf("seed %d step %d: %v", seed, step, err)
+					}
+				} else {
+					g.DeleteEdge(i1, i2)
+				}
+			}
+		}
+	}
+}
+
+// TestPickCacheLongDeleteRuns drives the pick cache through the workload
+// it exists for — long runs of consecutive DeleteEdge calls between rare
+// merges, deeper than the candidate capacity so exhaustion-rescans are
+// exercised — pinning every pick against the scan oracle.
+func TestPickCacheLongDeleteRuns(t *testing.T) {
+	for seed := int64(300); seed < 310; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		g := randomGraph(rng, 40+rng.Intn(80), 0.02+rng.Float64()*0.15)
+		g := randomGraph(rng, 120, 0.6) // dense: degrees far above pickCacheCap
+		g.EnablePickCache()
 		for step := 0; ; step++ {
 			i1, i2, iok := g.MinDegreePair()
 			s1, s2, sok := g.minDegreePairScan()
 			if iok != sok || i1 != s1 || i2 != s2 {
-				t.Fatalf("seed %d step %d: index picked (%d,%d,%v), scan picked (%d,%d,%v)",
+				t.Fatalf("seed %d step %d: cached (%d,%d,%v) != scan (%d,%d,%v)",
 					seed, step, i1, i2, iok, s1, s2, sok)
 			}
 			if !iok {
 				break
 			}
-			// Alternate merge and delete like the partitioner does when
-			// mergeFits flips, so both mutation paths exercise the index.
-			if rng.Intn(3) != 0 {
+			if rng.Intn(40) == 0 {
 				if _, err := g.Merge(i1, i2, 0); err != nil {
-					t.Fatalf("seed %d step %d: %v", seed, step, err)
+					t.Fatal(err)
 				}
 			} else {
 				g.DeleteEdge(i1, i2)

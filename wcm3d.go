@@ -49,6 +49,7 @@ import (
 	"wcm3d/internal/scan"
 	"wcm3d/internal/sta"
 	"wcm3d/internal/tam"
+	"wcm3d/internal/tsvrepair"
 	"wcm3d/internal/verify"
 	"wcm3d/internal/wcm"
 	"wcm3d/internal/wcm/li"
@@ -492,6 +493,88 @@ func SuspectTSVs(d *Die, asn *Assignment, ranked []DiagnosisCandidate, maxFaults
 
 // Pattern is one scan test vector.
 type Pattern = faultsim.Pattern
+
+// ----- TSV-defect repair and incremental replanning (internal/tsvrepair).
+
+type (
+	// TSVFaultKind classifies a pre-bond TSV defect (stuck, open,
+	// bridge, crosstalk).
+	TSVFaultKind = tsvrepair.FaultKind
+	// TSVFault is one TSV defect, referencing TSVs by name.
+	TSVFault = tsvrepair.Fault
+	// TSVDelta is an atomic batch of TSV faults.
+	TSVDelta = tsvrepair.Delta
+	// TSVRepair records one executed victim-to-spare substitution.
+	TSVRepair = tsvrepair.Repair
+	// SpareSpec says how many spare TSV sites a die carries per side.
+	SpareSpec = tsvrepair.SpareSpec
+	// ReplanPlanner owns a die's repair lifecycle: it patches TSV
+	// faults onto spares and replans incrementally through cached
+	// cone/verdict geometry (see internal/tsvrepair).
+	ReplanPlanner = tsvrepair.Planner
+)
+
+// TSV defect kinds.
+const (
+	TSVStuck0    = tsvrepair.Stuck0
+	TSVStuck1    = tsvrepair.Stuck1
+	TSVOpen      = tsvrepair.Open
+	TSVBridge    = tsvrepair.Bridge
+	TSVCrosstalk = tsvrepair.Crosstalk
+)
+
+// Replan failure classes, for callers mapping outcomes to exit codes or
+// HTTP statuses.
+var (
+	// ErrUnknownTSV: a fault named no live TSV on the die.
+	ErrUnknownTSV = tsvrepair.ErrUnknownTSV
+	// ErrNoSpares: the delta needs more spare sites than remain.
+	ErrNoSpares = tsvrepair.ErrNoSpares
+	// ErrBadTSVFault: the fault itself is malformed.
+	ErrBadTSVFault = tsvrepair.ErrBadFault
+)
+
+// ParseTSVFaultKind maps the CLI/service spelling ("stuck0", "open",
+// "bridge", ...) to a kind.
+func ParseTSVFaultKind(s string) (TSVFaultKind, error) { return tsvrepair.ParseFaultKind(s) }
+
+// AddSpareTSVs materializes spare TSV sites on an unprepared netlist;
+// call it before PrepareParsed so the sites get placed and timed.
+func AddSpareTSVs(n *Netlist, spec SpareSpec) error { return tsvrepair.AddSpares(n, spec) }
+
+// PrepareDieWithSpares generates and prepares a benchmark die carrying
+// spare TSV sites, ready for NewReplanPlanner.
+func PrepareDieWithSpares(p Profile, seed int64, spec SpareSpec) (*Die, error) {
+	return tsvrepair.PrepareWithSpares(p, seed, spec)
+}
+
+// NewReplanPlanner clones the die (the caller's stays pristine), plans
+// the baseline, and seeds the incremental-replan caches.
+func NewReplanPlanner(d *Die, opts MinimizeOptions) (*ReplanPlanner, error) {
+	return tsvrepair.NewPlanner(d, opts)
+}
+
+// Replan applies one fault delta to the planner's die — atomically
+// rerouting every victim TSV to a spare site — and replans the patched
+// die incrementally. The returned plan is certified equivalent to a
+// from-scratch Minimize on the patched die: the planner's Rerun method
+// produces that reference, and the differential suites in
+// internal/tsvrepair and the replan-equivalence CI job hold the two
+// bit-equal. A failed delta leaves die and plan untouched.
+func Replan(p *ReplanPlanner, delta TSVDelta) (*MinimizeResult, []TSVRepair, error) {
+	if p == nil {
+		return nil, nil, fmt.Errorf("wcm3d: Replan needs a planner")
+	}
+	reps, err := p.Apply(delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.Replan()
+	if err != nil {
+		return nil, reps, err
+	}
+	return res, reps, nil
+}
 
 // GeneratePatterns runs stuck-at ATPG on the wrapped die and returns the
 // pattern set and its grade — the vectors Diagnose expects back from the
