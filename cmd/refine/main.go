@@ -1,15 +1,18 @@
 // Command refine runs the anytime solver portfolio over a greedy
 // minimization result: deterministic local search, seeded simulated
-// annealing, and bounded branch-and-bound race under one wall budget, and
-// the best plan that passes the independent verifier wins. The output is
-// the before/after cell count plus each solver's search statistics.
+// annealing, bounded branch-and-bound, and large-neighborhood
+// destroy/repair race under one wall budget, and the best plan that passes
+// the independent verifier wins. The output is the before/after cell count
+// plus each solver's search statistics.
 //
 // Usage:
 //
 //	refine -profile b12/1                        # paper benchmark die
 //	refine -netlist die.bench                    # your own die
 //	refine -profile b12/1 -budget 10s -seed 7    # deeper, reproducible
-//	refine -profile b12/1 -strategies local,bnb  # subset of the portfolio
+//	refine -profile b12/1 -strategies local,lns  # subset of the portfolio
+//	refine -profile b20/1 -candidates 32         # wider merge candidate lists
+//	refine -profile b12/1 -crosscheck            # audit the incremental evaluator
 //	refine -profile b12/1 -json                  # machine-readable report
 //
 // With -json the output is the same RefineReport schema the wcmd daemon
@@ -28,7 +31,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"wcm3d"
 	"wcm3d/internal/service"
@@ -43,18 +45,31 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generation / placement seed; also drives the annealer RNG")
 		budget     = flag.Duration("budget", 0, "wall budget for the portfolio (0 = default)")
 		steps      = flag.Int("steps", 0, "per-strategy step budget (0 = per-strategy default; fixed steps make runs reproducible)")
-		strategies = flag.String("strategies", "", `comma-separated subset of "local,anneal,bnb" (empty = all)`)
+		strategies = flag.String("strategies", "", `comma-separated subset of "local,anneal,bnb,lns" (empty = all; duplicates collapse)`)
 		workers    = flag.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS)")
+		candidates = flag.Int("candidates", 0, "merge-partner candidate list size per block (0 = default)")
+		restarts   = flag.Int("restarts", 0, "restart rounds for local search / reheat segments for anneal (0 = per-strategy default)")
+		crosscheck = flag.Bool("crosscheck", false, "audit every incremental move against a full rematch (slow; debug)")
 		asJSON     = flag.Bool("json", false, "emit the machine-readable report (service schema)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *profile, *netPath, *method, *timing, *seed, *budget, *steps, *strategies, *workers, *asJSON); err != nil {
+	ro := wcm3d.RefineOptions{
+		Budget:     *budget,
+		Seed:       *seed,
+		MaxSteps:   *steps,
+		Workers:    *workers,
+		CandidateK: *candidates,
+		Restarts:   *restarts,
+		CrossCheck: *crosscheck,
+	}
+	if err := run(os.Stdout, *profile, *netPath, *method, *timing, ro, *strategies, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "refine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, profile, netPath, methodName, timingName string, seed int64, budget time.Duration, steps int, strategyList string, workers int, asJSON bool) error {
+func run(w io.Writer, profile, netPath, methodName, timingName string, ro wcm3d.RefineOptions, strategyList string, asJSON bool) error {
+	seed := ro.Seed
 	die, name, err := loadDie(profile, netPath, seed)
 	if err != nil {
 		return err
@@ -80,19 +95,7 @@ func run(w io.Writer, profile, netPath, methodName, timingName string, seed int6
 	if err != nil {
 		return fmt.Errorf("%v: %w", m, err)
 	}
-	ro := wcm3d.RefineOptions{
-		Budget:   budget,
-		Seed:     seed,
-		MaxSteps: steps,
-		Workers:  workers,
-	}
-	if strategyList != "" {
-		for _, s := range strings.Split(strategyList, ",") {
-			if s = strings.TrimSpace(s); s != "" {
-				ro.Strategies = append(ro.Strategies, s)
-			}
-		}
-	}
+	ro.Strategies = parseStrategies(strategyList)
 	rr, err := wcm3d.Refine(context.Background(), die, opts, res, ro)
 	if err != nil {
 		return err
@@ -113,6 +116,9 @@ func run(w io.Writer, profile, netPath, methodName, timingName string, seed int6
 	for _, so := range rr.Strategies {
 		line := fmt.Sprintf("  %-6s %d steps, %d proposed, %d admitted, %d rejected",
 			so.Name, so.Steps, so.Proposed, so.Admitted, so.Rejected)
+		if so.Stale > 0 {
+			line += fmt.Sprintf(", %d stale", so.Stale)
+		}
 		if so.Deadline {
 			line += " (deadline)"
 		}
@@ -122,6 +128,19 @@ func run(w io.Writer, profile, netPath, methodName, timingName string, seed int6
 		fmt.Fprintln(w, line)
 	}
 	return nil
+}
+
+// parseStrategies splits a comma-separated -strategies value, dropping
+// blanks; validation (unknown names, duplicate collapsing) happens in the
+// portfolio itself so CLI and service agree on the rules.
+func parseStrategies(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func loadDie(profile, netPath string, seed int64) (*wcm3d.Die, string, error) {

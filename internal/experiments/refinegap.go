@@ -14,7 +14,9 @@ import (
 // RefineGapRow compares the greedy heuristic against the anytime solver
 // portfolio (internal/refine) for one die under the performance-optimized
 // scenario: the cells each plan inserts, the cells the portfolio saved,
-// and the solver that found the winning plan.
+// the solver that found the winning plan, and the total search steps all
+// solvers executed inside the budget — the column that shows whether a
+// zero-saved row searched hard and found nothing or barely searched at all.
 type RefineGapRow struct {
 	Die          string
 	GreedyCells  int
@@ -22,6 +24,7 @@ type RefineGapRow struct {
 	Saved        int
 	ReusedFFs    int
 	Strategy     string
+	Steps        int
 }
 
 // RefineGap runs the paper's method on every die and then races the solver
@@ -45,6 +48,10 @@ func RefineGap(dies []*Die, budget time.Duration, seed int64) ([]RefineGapRow, e
 		if err != nil {
 			return nil, fmt.Errorf("refine gap %s: %w", d.Profile.Name(), err)
 		}
+		steps := 0
+		for _, so := range rr.Strategies {
+			steps += so.Steps
+		}
 		rows = append(rows, RefineGapRow{
 			Die:          d.Profile.Name(),
 			GreedyCells:  rr.GreedyCells,
@@ -52,6 +59,7 @@ func RefineGap(dies []*Die, budget time.Duration, seed int64) ([]RefineGapRow, e
 			Saved:        rr.CellsSaved,
 			ReusedFFs:    rr.ReusedFFs,
 			Strategy:     rr.Strategy,
+			Steps:        steps,
 		})
 	}
 	return rows, nil
@@ -61,22 +69,23 @@ func RefineGap(dies []*Die, budget time.Duration, seed int64) ([]RefineGapRow, e
 func RenderRefineGap(w io.Writer, rows []RefineGapRow) {
 	fmt.Fprintln(w, "Refinement gap — greedy heuristic vs anytime solver portfolio (tight timing)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "die\tgreedy cells\trefined cells\tsaved\treused FFs\twon by")
-	var g, r, s int
+	fmt.Fprintln(tw, "die\tgreedy cells\trefined cells\tsaved\treused FFs\twon by\tsteps")
+	var g, r, s, st int
 	for _, row := range rows {
 		won := row.Strategy
 		if won == "" {
 			won = "-"
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n",
-			row.Die, row.GreedyCells, row.RefinedCells, row.Saved, row.ReusedFFs, won)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%d\n",
+			row.Die, row.GreedyCells, row.RefinedCells, row.Saved, row.ReusedFFs, won, row.Steps)
 		g += row.GreedyCells
 		r += row.RefinedCells
 		s += row.Saved
+		st += row.Steps
 	}
-	fmt.Fprintf(tw, "Total\t%d\t%d\t%d\t\t\n", g, r, s)
+	fmt.Fprintf(tw, "Total\t%d\t%d\t%d\t\t\t%d\n", g, r, s, st)
 	if g > 0 {
-		fmt.Fprintf(tw, "(%%)\t100%%\t%.2f%%\t%.2f%%\t\t\n", 100*float64(r)/float64(g), 100*float64(s)/float64(g))
+		fmt.Fprintf(tw, "(%%)\t100%%\t%.2f%%\t%.2f%%\t\t\t\n", 100*float64(r)/float64(g), 100*float64(s)/float64(g))
 	}
 	tw.Flush()
 }

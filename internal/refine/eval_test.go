@@ -1,0 +1,310 @@
+package refine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcm3d/internal/netlist"
+	"wcm3d/internal/wcm"
+)
+
+// evalProblem builds a Problem + greedy start the way Run does (tiny dies
+// carry no RefreshTiming hook, so the second phase prices against base
+// timing, exactly as in the corpus tests).
+func evalProblem(t testing.TB, seed int64) (*Problem, *Solution) {
+	t.Helper()
+	in := tinyDie(t, seed)
+	opts := wcm.DefaultOptions()
+	greedy, err := wcm.Run(in, opts)
+	if err != nil {
+		t.Fatalf("seed %d: heuristic: %v", seed, err)
+	}
+	eff := opts.WithDefaults()
+	model, err := wcm.BuildShareModel(in, eff, nil)
+	if err != nil {
+		t.Fatalf("seed %d: share model: %v", seed, err)
+	}
+	p, err := newProblem(in, eff, model, greedy)
+	if err != nil {
+		t.Fatalf("seed %d: problem: %v", seed, err)
+	}
+	s, err := decodeGreedy(p, greedy)
+	if err != nil {
+		t.Fatalf("seed %d: decode: %v", seed, err)
+	}
+	return p, s
+}
+
+// validate cross-checks the evaluator's incremental bookkeeping (owner
+// index, ffUsed bits, matched/nblocks counters) against the solution it
+// wraps.
+func (e *evaluator) validate() error {
+	nblocks, matched := 0, 0
+	seen := make([]bool, len(e.p.ffSigs))
+	for pi := range e.s.blocks {
+		housed := 0
+		for _, bi := range e.itemBlock[pi] {
+			if bi >= 0 {
+				housed++
+			}
+		}
+		members := 0
+		for bi := range e.s.blocks[pi] {
+			members += len(e.s.blocks[pi][bi].members)
+		}
+		if housed != members {
+			return fmt.Errorf("phase %d: item index houses %d items, blocks hold %d", pi, housed, members)
+		}
+		for bi := range e.s.blocks[pi] {
+			nblocks++
+			b := &e.s.blocks[pi][bi]
+			if len(b.members) == 0 {
+				return fmt.Errorf("phase %d block %d is empty", pi, bi)
+			}
+			for _, m := range b.members {
+				if e.itemBlock[pi][m] != int32(bi) {
+					return fmt.Errorf("phase %d item %d: index says block %d, found in block %d",
+						pi, m, e.itemBlock[pi][m], bi)
+				}
+			}
+			if b.ff < 0 {
+				continue
+			}
+			matched++
+			ph := e.p.phases[pi]
+			if !ph.ffCovers(b.ff, b) {
+				return fmt.Errorf("phase %d block %d holds non-covering ff %d", pi, bi, b.ff)
+			}
+			g := ph.ffs[b.ff].global
+			if seen[g] {
+				return fmt.Errorf("global ff %d assigned twice", g)
+			}
+			seen[g] = true
+			if !e.s.ffUsed.has(int32(g)) {
+				return fmt.Errorf("global ff %d assigned but not marked used", g)
+			}
+			if e.ownerPhase[g] != int8(pi) || e.ownerBlock[g] != int32(bi) {
+				return fmt.Errorf("global ff %d owner index says (%d,%d), block is (%d,%d)",
+					g, e.ownerPhase[g], e.ownerBlock[g], pi, bi)
+			}
+		}
+	}
+	for g := range seen {
+		if !seen[g] {
+			if e.s.ffUsed.has(int32(g)) {
+				return fmt.Errorf("global ff %d marked used but unassigned", g)
+			}
+			if e.ownerBlock[g] >= 0 {
+				return fmt.Errorf("global ff %d has stale owner (%d,%d)",
+					g, e.ownerPhase[g], e.ownerBlock[g])
+			}
+		}
+	}
+	if nblocks != e.nblocks {
+		return fmt.Errorf("nblocks counter %d, solution has %d", e.nblocks, nblocks)
+	}
+	if matched != e.matched {
+		return fmt.Errorf("matched counter %d, solution has %d", e.matched, matched)
+	}
+	return nil
+}
+
+// TestRepairShrunkThroughPath is the regression for a repair hole the
+// runtime crossCheck audit caught on b12/1: when a block's mask shrinks,
+// an augmenting path may pass *through* it — head: an exposed block
+// alternates to the block's freed flip-flop; tail: the block alternates
+// to a free flip-flop via a newly feasible edge. The forward search used
+// to re-take the freed flip-flop trivially (it lists first in the item's
+// flip-flop order), which starved the reverse search of the head and left
+// the matching one short of maximum.
+//
+// Hand-built instance (phase 0; items a=0, b=1, d=2, c=3):
+//
+//	blocks  V={a,b} matched g, T={d} matched fT, B0={c} exposed
+//	ffs     g covers {a,b,c}, fT covers {d,b}, fNew covers {a} only
+//
+// Relocating b from V into T shrinks V to {a}, making fNew–V feasible.
+// The unique maximum matching of the new graph is fNew–V, g–B0, fT–T
+// (3 covered); greedily re-taking g for V strands B0 at 2.
+func TestRepairShrunkThroughPath(t *testing.T) {
+	const n = 4 // a=0 b=1 d=2 c=3
+	ph := &phaseIndex{n: n, maxLen: n}
+	ph.adj = make([]bitset, n)
+	for i := range ph.adj {
+		ph.adj[i] = newBitset(n)
+	}
+	pair := func(i, j int32) { ph.adj[i].set(j); ph.adj[j].set(i) }
+	pair(0, 1) // a–b: V is a valid block
+	pair(1, 2) // b–d: T accepts b
+	ffAdj := func(items ...int32) bitset {
+		m := newBitset(n)
+		for _, i := range items {
+			m.set(i)
+		}
+		return m
+	}
+	// g must precede fNew in a's flip-flop order for the greedy re-take
+	// to trigger (ffs index order is itemFFs order).
+	ph.ffs = []ffIndex{
+		{global: 0, adj: ffAdj(0, 1, 3), items: []int32{0, 1, 3}}, // g
+		{global: 1, adj: ffAdj(1, 2), items: []int32{1, 2}},       // fT
+		{global: 2, adj: ffAdj(0), items: []int32{0}},             // fNew
+	}
+	ph.itemFFs = make([][]int32, n)
+	for fi := range ph.ffs {
+		for i := int32(0); i < n; i++ {
+			if ph.ffs[fi].adj.has(i) {
+				ph.itemFFs[i] = append(ph.itemFFs[i], int32(fi))
+			}
+		}
+	}
+	p := &Problem{
+		phases:  [2]*phaseIndex{ph, {n: 0, maxLen: 1}},
+		ffSigs:  make([]netlist.SignalID, 3),
+		ffHomes: [][]ffHome{{{pi: 0, fi: 0}}, {{pi: 0, fi: 1}}, {{pi: 0, fi: 2}}},
+	}
+	s := &Solution{ffUsed: newBitset(3)}
+	addBlock := func(ff int32, items ...int32) {
+		b := block{mask: newBitset(n), ff: ff}
+		for _, i := range items {
+			b.members = append(b.members, i)
+			b.mask.set(i)
+		}
+		s.blocks[0] = append(s.blocks[0], b)
+	}
+	addBlock(0, 0, 1) // V = {a,b}, matched g
+	addBlock(1, 2)    // T = {d},   matched fT
+	addBlock(-1, 3)   // B0 = {c},  exposed
+	s.ffUsed.set(0)
+	s.ffUsed.set(1)
+
+	e := newEvaluator(p, s)
+	if got, want := e.cells(), 1; got != want {
+		t.Fatalf("initial matching: %d cells, want %d (B0 exposed)", got, want)
+	}
+	e.relocate(0, 0, 1, 1) // move b from V into T
+	if err := e.validate(); err != nil {
+		t.Fatalf("after relocate: %v", err)
+	}
+	if got, want := e.cells(), referenceCells(p, s); got != want {
+		t.Fatalf("through-path repair: incremental %d cells, reference rematch %d", got, want)
+	}
+	if got := e.cells(); got != 0 {
+		t.Fatalf("through-path repair: %d cells, want 0 (fNew–V, g–B0, fT–T)", got)
+	}
+}
+
+// TestEvaluatorMatchesReferenceRematch is the delta-cost property test: on
+// 1000 random applied moves per flip-flop profile (scarce / matched /
+// abundant — seed%3 selects the regime), the evaluator's incrementally
+// repaired cost must equal an independent from-scratch rematch, and a
+// reverted move must restore the solution bit for bit.
+func TestEvaluatorMatchesReferenceRematch(t *testing.T) {
+	movesPerProfile := 1000
+	if testing.Short() || raceEnabled {
+		movesPerProfile = 200
+	}
+	// One known-gap corpus seed per flip-flop regime (seed%3 = 0,1,2):
+	// gap dies are guaranteed to hold mergeable structure, so the random
+	// walk never runs dry of feasible moves.
+	for _, seed := range []int64{24, 25, 20} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p, s := evalProblem(t, seed)
+			e := newEvaluator(p, s)
+			if err := e.validate(); err != nil {
+				t.Fatalf("after init: %v", err)
+			}
+			if got, want := e.cells(), referenceCells(p, s); got != want {
+				t.Fatalf("initial maximize: %d cells, reference %d", got, want)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			applied := 0
+			for trial := 0; applied < movesPerProfile; trial++ {
+				if trial > movesPerProfile*50 {
+					t.Fatalf("only %d feasible moves in %d trials", applied, trial)
+				}
+				pi := rng.Intn(2)
+				ph := p.phases[pi]
+				nb := len(s.blocks[pi])
+				if nb == 0 {
+					continue
+				}
+				snap := s.clone()
+				snapCells := e.cells()
+				m := e.mark()
+				var moved bool
+				switch rng.Intn(4) {
+				case 0: // merge
+					if nb < 2 {
+						continue
+					}
+					bi, bj := rng.Intn(nb), rng.Intn(nb-1)
+					if bj >= bi {
+						bj++
+					}
+					if !ph.canMerge(&s.blocks[pi][bi], &s.blocks[pi][bj]) {
+						continue
+					}
+					e.merge(pi, bi, bj)
+					moved = true
+				case 1: // relocate
+					if nb < 2 {
+						continue
+					}
+					bi := rng.Intn(nb)
+					mi := rng.Intn(len(s.blocks[pi][bi].members))
+					to := rng.Intn(nb - 1)
+					if to >= bi {
+						to++
+					}
+					if !ph.canJoin(&s.blocks[pi][to], s.blocks[pi][bi].members[mi]) {
+						continue
+					}
+					e.relocate(pi, bi, mi, to)
+					moved = true
+				case 2: // split one member out
+					bi := rng.Intn(nb)
+					if len(s.blocks[pi][bi].members) < 2 {
+						continue
+					}
+					e.splitOut(pi, bi, rng.Intn(len(s.blocks[pi][bi].members)))
+					moved = true
+				default: // dissolve a whole block (the LNS destroy step)
+					bi := rng.Intn(nb)
+					if len(s.blocks[pi][bi].members) < 2 {
+						continue
+					}
+					e.dissolve(pi, bi)
+					moved = true
+				}
+				if !moved {
+					continue
+				}
+				applied++
+				if got, want := e.cells(), referenceCells(p, s); got != want {
+					t.Fatalf("move %d: incremental cost %d, reference rematch %d", applied, got, want)
+				}
+				if err := e.validate(); err != nil {
+					t.Fatalf("move %d: %v", applied, err)
+				}
+				if rng.Intn(2) == 0 {
+					e.revert(m)
+					if e.cells() != snapCells {
+						t.Fatalf("move %d: revert cost %d, was %d", applied, e.cells(), snapCells)
+					}
+					if !reflect.DeepEqual(s, snap) {
+						t.Fatalf("move %d: revert did not restore the solution bit-exactly", applied)
+					}
+					if err := e.validate(); err != nil {
+						t.Fatalf("move %d after revert: %v", applied, err)
+					}
+				} else {
+					e.commit()
+				}
+			}
+		})
+	}
+}

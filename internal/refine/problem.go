@@ -46,6 +46,12 @@ type Problem struct {
 	// reuse per flip-flop across the whole plan is a matching constraint.
 	ffSigs []netlist.SignalID
 
+	// ffHomes lists, per global flip-flop, every (phase, local index)
+	// that can use it — the reverse of ffIndex.global. The incremental
+	// evaluator's reverse augmenting search walks it to find the blocks
+	// adjacent to a freed flip-flop.
+	ffHomes [][]ffHome
+
 	// fixedCells counts the dedicated cells no solution can avoid (both
 	// phases' excluded TSVs).
 	fixedCells int
@@ -77,6 +83,17 @@ type phaseIndex struct {
 type ffIndex struct {
 	global int32  // index into Problem.ffSigs
 	adj    bitset // items the flip-flop may share a group with
+	// items lists adj's set bits ascending (the share model's FF adjacency
+	// list, referenced, not copied). The reverse augmenting search walks it
+	// to enumerate candidate blocks through the evaluator's item→block
+	// index instead of scanning every block of the phase.
+	items []int32
+}
+
+// ffHome locates one phase-local incarnation of a global flip-flop.
+type ffHome struct {
+	pi int8
+	fi int32
 }
 
 // newProblem indexes a share model for the solvers.
@@ -122,7 +139,11 @@ func newProblem(in wcm.Input, opts wcm.Options, model *wcm.ShareModel, greedy *w
 				mask.set(j)
 				ph.itemFFs[j] = append(ph.itemFFs[j], int32(fi))
 			}
-			ph.ffs = append(ph.ffs, ffIndex{global: g, adj: mask})
+			ph.ffs = append(ph.ffs, ffIndex{global: g, adj: mask, items: ff.Adj})
+			for int(g) >= len(p.ffHomes) {
+				p.ffHomes = append(p.ffHomes, nil)
+			}
+			p.ffHomes[g] = append(p.ffHomes[g], ffHome{pi: int8(pi), fi: int32(fi)})
 		}
 		p.fixedCells += len(sp.Excluded)
 		p.phases[pi] = ph
@@ -189,9 +210,24 @@ func (s *Solution) matched() int {
 }
 
 // canJoin reports whether item i may enter block b of phase ph: the block
-// has room and i is adjacent to every member.
+// has room and i is adjacent to every member. Small blocks are checked
+// member-by-member — a word scan over the mask cannot early-exit on the
+// mask's zero words, so for typical block sizes the per-member probe is
+// both shorter and fail-fast.
 func (ph *phaseIndex) canJoin(b *block, i int32) bool {
-	return len(b.members) < ph.maxLen && ph.adj[i].covers(b.mask)
+	if len(b.members) >= ph.maxLen {
+		return false
+	}
+	row := ph.adj[i]
+	if len(b.members) < len(b.mask) {
+		for _, m := range b.members {
+			if !row.has(m) {
+				return false
+			}
+		}
+		return true
+	}
+	return row.covers(b.mask)
 }
 
 // canMerge reports whether two blocks may fuse: combined size fits and
@@ -214,9 +250,34 @@ func (ph *phaseIndex) canMerge(a, b *block) bool {
 	return true
 }
 
+// ffCoversAlso reports whether flip-flop fi, already known to cover some
+// block, also covers every member of b — i.e. whether it would cover the
+// two blocks' union.
+func (ph *phaseIndex) ffCoversAlso(fi int32, b *block) bool {
+	adj := ph.ffs[fi].adj
+	for _, m := range b.members {
+		if !adj.has(m) {
+			return false
+		}
+	}
+	return true
+}
+
 // ffCovers reports whether phase-local flip-flop fi may serve block b.
+// This sits on the matching repair's hottest path (the reverse augmenting
+// search probes it for every candidate block), so small blocks take the
+// fail-fast per-member probe instead of the full-width mask scan.
 func (ph *phaseIndex) ffCovers(fi int32, b *block) bool {
-	return ph.ffs[fi].adj.covers(b.mask)
+	adj := ph.ffs[fi].adj
+	if len(b.members) < len(b.mask) {
+		for _, m := range b.members {
+			if !adj.has(m) {
+				return false
+			}
+		}
+		return true
+	}
+	return adj.covers(b.mask)
 }
 
 // decodeGreedy maps the greedy plan onto the model: every shared group

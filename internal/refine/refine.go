@@ -7,16 +7,25 @@
 // package exists to close those gaps on real dies, where the oracle cannot
 // run.
 //
-// Three strategies implement one Refiner interface and race concurrently:
+// Four strategies implement one Refiner interface and race concurrently:
 //
-//   - local:  deterministic first-improvement descent — block merges,
-//     single-item relocations, and split-and-remerge kicks, each rescored
-//     with a global augmenting-path flip-flop rematch.
+//   - local:  deterministic first-improvement descent — candidate-list
+//     block merges, single-item relocations, and split-and-remerge kicks,
+//     with a seeded perturb-and-descend restart schedule.
 //   - anneal: simulated annealing over the same move set, driven by a
-//     seeded RNG (bit-reproducible for a fixed seed and step budget).
+//     seeded RNG (bit-reproducible for a fixed seed and step budget),
+//     reheated from its own best in restart segments.
 //   - bnb:    bounded branch-and-bound — per-phase exhaustive
 //     re-partitioning with the greedy cost as incumbent, for phases small
 //     enough to enumerate.
+//   - lns:    large-neighborhood destroy/repair — evict a cluster of
+//     blocks, greedily repack, keep strict improvements.
+//
+// All but bnb score moves with the incremental evaluator (eval.go): moves
+// apply in place, targeted augmenting paths repair the flip-flop matching,
+// and a journal reverts rejected trials — no per-trial clone or full
+// rematch, which is what lets sweeps finish on b20-class dies inside the
+// wall budget.
 //
 // The optimizer never self-certifies: every candidate that beats the
 // incumbent is encoded as a scan.Assignment and must pass the independent
@@ -29,6 +38,8 @@ package refine
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -60,12 +71,28 @@ type Options struct {
 	// per-strategy defaults. With a generous Budget, fixed MaxSteps make
 	// every strategy's outcome deterministic.
 	MaxSteps int
-	// Strategies selects which solvers race ("local", "anneal", "bnb");
-	// nil or empty runs all three.
+	// Strategies selects which solvers race ("local", "anneal", "bnb",
+	// "lns"); nil or empty runs all of them. Duplicate names collapse to
+	// the first occurrence — two copies of a strategy would replay the
+	// same deterministic trajectory on the same RNG stream.
 	Strategies []string
 	// Workers bounds the portfolio's concurrency; 0 means one worker per
 	// strategy (capped by GOMAXPROCS via internal/par).
 	Workers int
+	// CandidateK bounds each block's merge-partner candidate list in the
+	// scalable sweeps (local search, LNS cluster picking); 0 means
+	// defaultCandidateK. Larger k explores more pairs per round, smaller
+	// k finishes rounds faster on big dies.
+	CandidateK int
+	// Restarts caps the restart schedule: perturb-and-descend rounds for
+	// local search, reheat segments for the annealer. 0 picks
+	// per-strategy defaults (local restarts until two fruitless rounds,
+	// anneal splits its budget into annealSegments segments).
+	Restarts int
+	// CrossCheck re-scores every applied incremental move against a
+	// from-scratch rematch and panics on divergence — the debug mode for
+	// the incremental evaluator; orders of magnitude slower.
+	CrossCheck bool
 }
 
 // Config is the per-strategy slice of Options a Refiner receives.
@@ -74,6 +101,12 @@ type Config struct {
 	Seed int64
 	// MaxSteps bounds the strategy's search steps.
 	MaxSteps int
+	// CandidateK bounds merge-partner candidate lists (see Options).
+	CandidateK int
+	// Restarts caps the restart schedule (see Options).
+	Restarts int
+	// CrossCheck enables the evaluator's full-rematch debug audit.
+	CrossCheck bool
 }
 
 // Refiner is one improvement strategy. Refine searches from start and
@@ -95,10 +128,14 @@ type StrategyOutcome struct {
 	Steps int `json:"steps"`
 	// Proposed counts candidates the strategy emitted; Admitted counts
 	// those that passed verification and improved the global best;
-	// Rejected counts candidates the referee refused.
+	// Rejected counts candidates the referee refused; Stale counts
+	// candidates that verified but lost the admission race to an
+	// equal-or-better plan another strategy certified first (they are
+	// deliberately not Admitted, so an improvement is counted once).
 	Proposed int `json:"proposed"`
 	Admitted int `json:"admitted"`
 	Rejected int `json:"rejected"`
+	Stale    int `json:"stale,omitempty"`
 	// Deadline reports whether the wall clock cut the strategy short.
 	Deadline bool `json:"deadline,omitempty"`
 	// Err carries a strategy failure (the portfolio survives it).
@@ -126,22 +163,45 @@ type Result struct {
 	Strategies []StrategyOutcome
 }
 
-// strategiesFor resolves the configured strategy names.
+// strategyRegistry maps strategy names to their implementations. Tests may
+// register temporary strategies (and must remove them again).
+var strategyRegistry = map[string]Refiner{
+	"local":  localSearch{},
+	"anneal": annealer{},
+	"bnb":    branchBound{},
+	"lns":    lns{},
+}
+
+// defaultStrategyOrder fixes the portfolio's deterministic launch order
+// when Options.Strategies is empty.
+var defaultStrategyOrder = []string{"local", "anneal", "bnb", "lns"}
+
+// strategiesFor resolves the configured strategy names. Unknown names are
+// an error naming the known set; duplicates collapse to the first
+// occurrence — two copies of the same strategy would race identical
+// deterministic trajectories over the same RNG seed stream and burn a
+// worker for nothing.
 func strategiesFor(names []string) ([]Refiner, error) {
-	all := map[string]Refiner{
-		"local":  localSearch{},
-		"anneal": annealer{},
-		"bnb":    branchBound{},
-	}
 	if len(names) == 0 {
-		return []Refiner{localSearch{}, annealer{}, branchBound{}}, nil
+		names = defaultStrategyOrder
 	}
+	seen := make(map[string]bool, len(names))
 	var out []Refiner
 	for _, name := range names {
-		r, ok := all[name]
+		r, ok := strategyRegistry[name]
 		if !ok {
-			return nil, fmt.Errorf("refine: unknown strategy %q", name)
+			known := make([]string, 0, len(strategyRegistry))
+			for k := range strategyRegistry {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("refine: unknown strategy %q (known: %s)",
+				name, strings.Join(known, ", "))
 		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
 		out = append(out, r)
 	}
 	return out, nil
@@ -154,36 +214,65 @@ type arbiter struct {
 	p  *Problem
 	th *wcm.Options
 
+	// certifyFn lets tests intercept certification (e.g. to force the
+	// stale race deterministically); nil means verify.Plan.
+	certifyFn func(*scan.Assignment) bool
+
 	mu        sync.Mutex
 	bestCells int
 	best      *scan.Assignment
 	strategy  string
 }
 
+// offerVerdict classifies one candidate's fate at the arbiter.
+type offerVerdict int
+
+const (
+	// offerNotBetter: no better than the global best at the pre-check —
+	// not worth encoding or verifying.
+	offerNotBetter offerVerdict = iota
+	// offerRejected: the independent referee refused certification.
+	offerRejected
+	// offerStale: verified, but while verification ran another strategy
+	// certified an equal-or-better plan. The candidate is dropped — NOT
+	// admitted — so an equal-cost race can never count one improvement
+	// twice.
+	offerStale
+	// offerAdmitted: verified and strictly better; now the global best.
+	offerAdmitted
+)
+
+func (a *arbiter) certify(asn *scan.Assignment) bool {
+	if a.certifyFn != nil {
+		return a.certifyFn(asn)
+	}
+	vres, err := verify.Plan(a.p.in, asn, verify.Options{Thresholds: a.th})
+	return err == nil && vres.OK()
+}
+
 // offer judges one candidate for one strategy. It is safe for concurrent
 // use; verification runs outside the lock.
-func (a *arbiter) offer(strategy string, s *Solution) (admitted, rejected bool) {
+func (a *arbiter) offer(strategy string, s *Solution) offerVerdict {
 	cells := s.cells(a.p)
 	a.mu.Lock()
 	lead := cells < a.bestCells
 	a.mu.Unlock()
 	if !lead {
-		return false, false
+		return offerNotBetter
 	}
 	asn := encode(a.p, s)
-	vres, err := verify.Plan(a.p.in, asn, verify.Options{Thresholds: a.th})
-	if err != nil || !vres.OK() {
-		return false, true
+	if !a.certify(asn) {
+		return offerRejected
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if cells >= a.bestCells {
-		return false, false // someone else got there first
+		return offerStale // someone else got there first
 	}
 	a.bestCells = cells
 	a.best = asn
 	a.strategy = strategy
-	return true, false
+	return offerAdmitted
 }
 
 // Run races the solver portfolio over the greedy plan and returns the best
@@ -213,8 +302,6 @@ func Run(ctx context.Context, in wcm.Input, opts wcm.Options, greedy *wcm.Result
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
-	ctx, cancel := context.WithTimeout(ctx, budget)
-	defer cancel()
 
 	// The model's second phase prices against the timing the greedy
 	// second phase saw: the analysis refreshed from greedy's first-phase
@@ -251,31 +338,49 @@ func Run(ctx context.Context, in wcm.Input, opts wcm.Options, greedy *wcm.Result
 		return res, nil
 	}
 
+	// The deadline clock starts here, after the timing refresh and model
+	// build: the budget funds the *search*, not the problem construction —
+	// on b18/b20-class dies the STA refresh alone used to consume most of
+	// a 2 s budget before any strategy ran a single step. The caller's own
+	// context still caps the whole call, prep included.
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
 	arb := &arbiter{p: p, th: &eff, bestCells: greedy.AdditionalCells}
 	outcomes := make([]StrategyOutcome, len(refiners))
 	par.Do(par.Workers(o.Workers, len(refiners)), len(refiners), func(_, i int) {
 		r := refiners[i]
 		out := &outcomes[i]
 		out.Name = r.Name()
-		cfg := Config{Seed: o.Seed, MaxSteps: o.MaxSteps}
+		cfg := Config{
+			Seed:       o.Seed,
+			MaxSteps:   o.MaxSteps,
+			CandidateK: o.CandidateK,
+			Restarts:   o.Restarts,
+			CrossCheck: o.CrossCheck,
+		}
 		if cfg.MaxSteps <= 0 {
 			switch r.Name() {
 			case "anneal":
 				cfg.MaxSteps = defaultAnnealSteps
 			default:
+				// local and lns terminate through their fruitless
+				// cutoffs; bnb through its enumeration bound.
 				cfg.MaxSteps = 1 << 30
 			}
 		}
 		emit := func(s *Solution) bool {
 			out.Proposed++
-			admitted, rejected := arb.offer(r.Name(), s)
-			if admitted {
+			switch arb.offer(r.Name(), s) {
+			case offerAdmitted:
 				out.Admitted++
-			}
-			if rejected {
+				return true
+			case offerRejected:
 				out.Rejected++
+			case offerStale:
+				out.Stale++
 			}
-			return admitted
+			return false
 		}
 		steps, err := r.Refine(ctx, p, start, cfg, emit)
 		out.Steps = steps

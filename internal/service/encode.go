@@ -154,6 +154,13 @@ type RefineReport struct {
 	CellsSaved      int    `json:"cells_saved"`
 	ReusedFFs       int    `json:"reused_ffs"`
 	Strategy        string `json:"strategy,omitempty"`
+	// Skipped reports that the stage never ran: the job reached refine
+	// with less than the minimum worthwhile budget remaining (see
+	// service.MinRefineBudget). FundedMS is the wall budget the stage
+	// was actually funded with, in milliseconds — zero or tiny when
+	// skipped, the real search budget otherwise.
+	Skipped  bool  `json:"skipped,omitempty"`
+	FundedMS int64 `json:"funded_ms,omitempty"`
 	// Strategies reports every solver that raced: steps searched,
 	// candidates proposed/admitted/rejected, and whether the deadline
 	// cut the run short.
@@ -167,6 +174,9 @@ type RefineStrategyReport struct {
 	Proposed int    `json:"proposed"`
 	Admitted int    `json:"admitted"`
 	Rejected int    `json:"rejected"`
+	// Stale counts candidates that verified but lost the admission race
+	// to an equal-or-better plan certified first by another strategy.
+	Stale    int    `json:"stale,omitempty"`
 	Deadline bool   `json:"deadline,omitempty"`
 	Err      string `json:"err,omitempty"`
 }
@@ -188,6 +198,7 @@ func EncodeRefine(rr *wcm3d.RefineResult) *RefineReport {
 			Proposed: so.Proposed,
 			Admitted: so.Admitted,
 			Rejected: so.Rejected,
+			Stale:    so.Stale,
 			Deadline: so.Deadline,
 			Err:      so.Err,
 		})

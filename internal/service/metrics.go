@@ -70,9 +70,13 @@ type Metrics struct {
 	// found a verified plan strictly better than the greedy heuristic's;
 	// RefineCellsSaved accumulates the wrapper cells those improvements
 	// removed. Together they answer "is the refinement budget paying for
-	// itself" straight from /metrics.
+	// itself" straight from /metrics. RefineSkipped counts refine=true
+	// jobs that reached the stage with less than MinRefineBudget of wall
+	// clock remaining and skipped the portfolio entirely — a rising count
+	// means job timeouts are too tight to ever fund refinement.
 	RefineImproved   atomic.Int64
 	RefineCellsSaved atomic.Int64
+	RefineSkipped    atomic.Int64
 
 	// Die-cache counters. A hit is any request served by an existing entry
 	// (including one still being prepared — the single-flight path); a
@@ -298,6 +302,7 @@ type MetricsSnapshot struct {
 	Refine struct {
 		Improved   int64 `json:"improved"`
 		CellsSaved int64 `json:"cells_saved"`
+		Skipped    int64 `json:"skipped"`
 	} `json:"refine"`
 	LatencyMS map[string]HistogramSnapshot `json:"latency_ms"`
 }
@@ -330,6 +335,7 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	s.Verify.Failures = m.VerifyFailures.Load()
 	s.Refine.Improved = m.RefineImproved.Load()
 	s.Refine.CellsSaved = m.RefineCellsSaved.Load()
+	s.Refine.Skipped = m.RefineSkipped.Load()
 	s.Cache.Hits = m.CacheHits.Load()
 	s.Cache.Misses = m.CacheMisses.Load()
 	s.Cache.Evictions = m.CacheEvictions.Load()

@@ -1,9 +1,13 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"wcm3d"
 )
 
 // TestJobRefineFlag runs a real job with solver-portfolio refinement
@@ -44,6 +48,14 @@ func TestJobRefineFlag(t *testing.T) {
 	}
 	if rr.Improved != (rr.CellsSaved > 0) {
 		t.Fatalf("improved=%v but cells_saved=%d", rr.Improved, rr.CellsSaved)
+	}
+	// A 30 s timeout leaves the stage far above the funding floor, so the
+	// report must show a real budget and no skip.
+	if rr.Skipped {
+		t.Fatal("refine stage skipped despite an ample deadline")
+	}
+	if rr.FundedMS < MinRefineBudget.Milliseconds() {
+		t.Fatalf("funded budget %dms is below the %v floor", rr.FundedMS, MinRefineBudget)
 	}
 	// The report must describe the plan that actually shipped: after an
 	// improvement the job-level cell count is the refined one.
@@ -90,5 +102,42 @@ func TestJobRefineSkipsThresholdFreeMethods(t *testing.T) {
 	}
 	if done.Result.Refine != nil {
 		t.Fatal("threshold-free method produced a refine report")
+	}
+}
+
+// TestRefineFunding pins the stage-funding policy: half the remaining
+// deadline when that clears the floor, an explicit skip (never a negative
+// budget, never the 2 s default) when it does not, and the portfolio
+// default when the job has no deadline at all.
+func TestRefineFunding(t *testing.T) {
+	cases := []struct {
+		name     string
+		deadline time.Duration // 0 = no deadline
+		wantOK   bool
+		minFund  time.Duration
+		maxFund  time.Duration
+	}{
+		{"no deadline", 0, true, wcm3d.DefaultRefineBudget, wcm3d.DefaultRefineBudget},
+		{"ample deadline", 10 * time.Second, true, 4 * time.Second, 5 * time.Second},
+		{"just above floor", 2 * MinRefineBudget * 2, true, MinRefineBudget, 2 * MinRefineBudget},
+		{"below floor", MinRefineBudget, false, 0, MinRefineBudget / 2},
+		{"expired deadline", -time.Second, false, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			if tc.deadline != 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, time.Now().Add(tc.deadline))
+				defer cancel()
+			}
+			funded, ok := refineFunding(ctx)
+			if ok != tc.wantOK {
+				t.Fatalf("funded=%v ok=%v, want ok=%v", funded, ok, tc.wantOK)
+			}
+			if funded < tc.minFund || funded > tc.maxFund {
+				t.Fatalf("funded=%v outside [%v, %v]", funded, tc.minFund, tc.maxFund)
+			}
+		})
 	}
 }

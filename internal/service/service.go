@@ -763,6 +763,30 @@ func (s *Service) preparer(spec DieSpec) func(context.Context) (*wcm3d.Die, erro
 // per-job cancellation, job deadlines and shutdown deadlines take effect
 // at stage boundaries. Every stage records its latency whatever the
 // outcome.
+// MinRefineBudget is the smallest portfolio budget worth starting: below
+// it the solvers cannot finish a meaningful sweep even on a mid-size die,
+// so the refine stage skips explicitly (RefineReport.Skipped, the
+// refine.skipped counter) instead of pretending to search.
+const MinRefineBudget = 50 * time.Millisecond
+
+// refineFunding computes the refine stage's budget — half the job's
+// remaining clamped deadline — and whether it clears MinRefineBudget.
+// Without a deadline the portfolio's default budget stands.
+func refineFunding(ctx context.Context) (time.Duration, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return wcm3d.DefaultRefineBudget, true
+	}
+	funded := time.Until(dl) / 2
+	if funded < MinRefineBudget {
+		if funded < 0 {
+			funded = 0
+		}
+		return funded, false
+	}
+	return funded, true
+}
+
 func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 	die, err := s.dies.get(ctx, DieKey{Name: j.spec.Name, Seed: j.spec.Seed}, s.preparer(j.spec))
 	if err != nil {
@@ -788,25 +812,41 @@ func (s *Service) execute(ctx context.Context, j *job) (*Report, error) {
 		// signoff/verify/ATPG stages still need their share); a longer
 		// timeout_ms therefore buys a deeper search. Methods without a
 		// threshold contract (li, fullwrap) have no sharing model to
-		// refine and skip the stage.
-		start = time.Now()
-		ro := wcm3d.RefineOptions{Seed: j.spec.Seed}
-		if dl, ok := ctx.Deadline(); ok {
-			ro.Budget = time.Until(dl) / 2
+		// refine and skip the stage. A job that queued long (or asked
+		// for a small timeout_ms) can arrive here with almost nothing
+		// left: funding the portfolio with a zero or negative budget
+		// used to fall through to the 2 s default and overrun the
+		// deadline, while a near-zero one silently no-oped yet still
+		// attached a normal-looking RefineReport. Below the floor the
+		// stage now skips explicitly and says so.
+		funded, ok := refineFunding(ctx)
+		if !ok {
+			s.metrics.RefineSkipped.Add(1)
+			refineRep = &RefineReport{
+				Skipped:         true,
+				FundedMS:        funded.Milliseconds(),
+				GreedyCells:     res.AdditionalCells,
+				AdditionalCells: res.AdditionalCells,
+				ReusedFFs:       res.ReusedFFs,
+			}
+		} else {
+			start = time.Now()
+			ro := wcm3d.RefineOptions{Seed: j.spec.Seed, Budget: funded}
+			rr, err := wcm3d.Refine(ctx, die, res.Options, res, ro)
+			s.metrics.ObserveOutcome(StageRefine, time.Since(start), err)
+			if err != nil {
+				return nil, fmt.Errorf("refine: %w", err)
+			}
+			if rr.Improved {
+				res.Assignment = rr.Assignment
+				res.AdditionalCells = rr.AdditionalCells
+				res.ReusedFFs = rr.ReusedFFs
+				s.metrics.RefineImproved.Add(1)
+				s.metrics.RefineCellsSaved.Add(int64(rr.CellsSaved))
+			}
+			refineRep = EncodeRefine(rr)
+			refineRep.FundedMS = funded.Milliseconds()
 		}
-		rr, err := wcm3d.Refine(ctx, die, res.Options, res, ro)
-		s.metrics.ObserveOutcome(StageRefine, time.Since(start), err)
-		if err != nil {
-			return nil, fmt.Errorf("refine: %w", err)
-		}
-		if rr.Improved {
-			res.Assignment = rr.Assignment
-			res.AdditionalCells = rr.AdditionalCells
-			res.ReusedFFs = rr.ReusedFFs
-			s.metrics.RefineImproved.Add(1)
-			s.metrics.RefineCellsSaved.Add(int64(rr.CellsSaved))
-		}
-		refineRep = EncodeRefine(rr)
 	}
 	rep := EncodeResult(DescribeDie(j.spec.Name, j.spec.Seed, die), j.method, j.mode, res, die.Lib)
 	rep.Refine = refineRep

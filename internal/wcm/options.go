@@ -157,6 +157,13 @@ type Options struct {
 	// Zero means the portfolio's default budget; the caller's context
 	// deadline always caps it regardless.
 	RefineBudget time.Duration
+	// RefineSeed drives the portfolio's seeded strategies (annealing,
+	// restart perturbation, LNS destroy picking) when Refine is set, so
+	// a refined MinimizeWith run is reproducible end to end.
+	RefineSeed int64
+	// RefineStrategies restricts the portfolio to a subset of its
+	// solvers when Refine is set; nil or empty races all of them.
+	RefineStrategies []string
 }
 
 // MergePolicy selects how Algorithm 2 picks the next pair to merge.

@@ -262,7 +262,11 @@ func MinimizeWith(d *Die, opts MinimizeOptions) (*MinimizeResult, error) {
 	if err != nil || !opts.Refine {
 		return res, err
 	}
-	rr, err := Refine(context.Background(), d, opts, res, RefineOptions{Budget: opts.RefineBudget})
+	rr, err := Refine(context.Background(), d, opts, res, RefineOptions{
+		Budget:     opts.RefineBudget,
+		Seed:       opts.RefineSeed,
+		Strategies: opts.RefineStrategies,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -275,15 +279,22 @@ func MinimizeWith(d *Die, opts MinimizeOptions) (*MinimizeResult, error) {
 }
 
 // RefineOptions configures the anytime solver portfolio (see
-// internal/refine): wall budget, RNG seed, step budget, strategy subset.
+// internal/refine): wall budget, RNG seed, step budget, strategy subset,
+// candidate-list width, restart schedule, and the evaluator's cross-check
+// debug mode.
 type RefineOptions = refine.Options
+
+// DefaultRefineBudget is the portfolio's wall budget when
+// RefineOptions.Budget is zero.
+const DefaultRefineBudget = refine.DefaultBudget
 
 // RefineResult reports a refinement run: the winning plan (or the greedy
 // plan unchanged), the cells saved, and per-strategy outcomes.
 type RefineResult = refine.Result
 
 // Refine races the solver portfolio — deterministic local search, seeded
-// simulated annealing, bounded branch-and-bound — over a greedy
+// simulated annealing, bounded branch-and-bound, large-neighborhood
+// destroy/repair — over a greedy
 // minimization result and returns the best plan that passes the
 // independent verifier before the deadline. The result is never worse than
 // the input plan: an expired context or a fruitless search hands the
